@@ -1,0 +1,262 @@
+(* hlsc — command-line driver for the high-level synthesis toolkit.
+
+   Subcommands:
+     synth    synthesize a specification and print the design report
+     run      synthesize and simulate the RTL on given inputs
+     explore  sweep resource limits and print the area/latency trade-off
+     examples list the built-in workloads *)
+
+open Cmdliner
+open Hls_core
+
+let read_source path_opt example_opt =
+  match (path_opt, example_opt) with
+  | Some path, None ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+  | None, Some name -> (
+      match List.assoc_opt name Workloads.all with
+      | Some src -> Ok src
+      | None ->
+          Error
+            (Printf.sprintf "unknown example %s (try: %s)" name
+               (String.concat ", " (List.map fst Workloads.all))))
+  | Some _, Some _ -> Error "give either FILE or --example, not both"
+  | None, None -> Error "give a FILE or --example NAME"
+
+let source_file =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"BSL source file.")
+
+let example =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "example"; "e" ] ~docv:"NAME" ~doc:"Use a built-in workload.")
+
+let opt_level =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("standard", `Standard); ("aggressive", `Aggressive) ]) `Standard
+    & info [ "opt"; "O" ] ~docv:"LEVEL" ~doc:"Optimization level (none|standard|aggressive).")
+
+let scheduler =
+  let sched_conv =
+    Arg.enum
+      [
+        ("asap", Flow.Asap);
+        ("list", Flow.List_path);
+        ("list-mobility", Flow.List_mobility);
+        ("fds", Flow.Force_directed 0);
+        ("freedom", Flow.Freedom);
+        ("bb", Flow.Branch_bound);
+        ("ilp", Flow.Ilp_exact);
+        ("trans-par", Flow.Trans_parallel);
+        ("trans-ser", Flow.Trans_serial);
+      ]
+  in
+  Arg.(
+    value & opt sched_conv Flow.List_path
+    & info [ "scheduler"; "s" ] ~docv:"ALGO"
+        ~doc:"Scheduler (asap|list|list-mobility|fds|freedom|bb|ilp|trans-par|trans-ser).")
+
+let fus =
+  Arg.(
+    value & opt int 2
+    & info [ "fus"; "k" ] ~docv:"N" ~doc:"Functional-unit limit (0 = serial, -1 = unlimited).")
+
+let allocator =
+  Arg.(
+    value
+    & opt (enum [ ("clique", `Clique); ("min-mux", `Greedy_min_mux); ("first-fit", `Greedy_first_fit) ]) `Greedy_min_mux
+    & info [ "allocator"; "a" ] ~docv:"ALGO" ~doc:"Allocator (clique|min-mux|first-fit).")
+
+let encoding =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("binary", Hls_ctrl.Encoding.Binary);
+             ("gray", Hls_ctrl.Encoding.Gray);
+             ("one-hot", Hls_ctrl.Encoding.One_hot);
+           ])
+        Hls_ctrl.Encoding.Binary
+    & info [ "encoding" ] ~docv:"STYLE" ~doc:"State encoding (binary|gray|one-hot).")
+
+let verilog_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-verilog" ] ~docv:"FILE" ~doc:"Write structural Verilog to FILE.")
+
+let dot_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-dot" ] ~docv:"FILE" ~doc:"Write a datapath DOT graph to FILE.")
+
+let if_convert_flag =
+  Arg.(value & flag & info [ "if-convert" ] ~doc:"Speculate small branch diamonds into muxes.")
+
+let make_options opt_level if_conversion scheduler fus allocator encoding =
+  let limits =
+    if fus = 0 then Hls_sched.Limits.Serial
+    else if fus < 0 then Hls_sched.Limits.Unlimited
+    else Hls_sched.Limits.Total fus
+  in
+  { Flow.opt_level; if_conversion; scheduler; limits; allocator;
+    share_variables = true; encoding }
+
+let handle_errors f =
+  try f () with
+  | Hls_lang.Ast.Frontend_error (pos, msg) ->
+      Printf.eprintf "error at %d:%d: %s\n" pos.Hls_lang.Ast.line pos.Hls_lang.Ast.col msg;
+      exit 1
+  | Invalid_argument msg | Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+(* ---- synth ---- *)
+
+let synth_cmd =
+  let run file example opt_level if_conv scheduler fus allocator encoding verilog_out dot_out =
+    match read_source file example with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+    | Ok src ->
+        handle_errors (fun () ->
+            let options = make_options opt_level if_conv scheduler fus allocator encoding in
+            let d = Flow.synthesize ~options src in
+            Report.print d;
+            (match Flow.verify ~runs:5 d with
+            | Ok () -> print_endline "co-simulation: behavioral = CDFG = RTL on 5 random vectors"
+            | Error e -> Printf.printf "co-simulation FAILED: %s\n" e);
+            (match verilog_out with
+            | Some path ->
+                let name = d.Flow.prog.Hls_lang.Typed.tname in
+                let oc = open_out path in
+                output_string oc (Hls_rtl.Emit.verilog ~name d.Flow.datapath);
+                close_out oc;
+                Printf.printf "wrote %s\n" path
+            | None -> ());
+            match dot_out with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Hls_rtl.Emit.dot d.Flow.datapath);
+                close_out oc;
+                Printf.printf "wrote %s\n" path
+            | None -> ())
+  in
+  let info = Cmd.info "synth" ~doc:"Synthesize a behavioral specification to RTL." in
+  Cmd.v info
+    Term.(
+      const run $ source_file $ example $ opt_level $ if_convert_flag $ scheduler $ fus
+      $ allocator $ encoding $ verilog_out $ dot_out)
+
+(* ---- run ---- *)
+
+let inputs_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "input"; "i" ] ~docv:"NAME=VALUE"
+        ~doc:"Input port value (decimal; floats allowed for fixed-point ports). Repeatable.")
+
+let vcd_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump a VCD waveform of the run to FILE.")
+
+let run_cmd =
+  let run file example opt_level if_conv scheduler fus allocator encoding inputs vcd =
+    match read_source file example with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+    | Ok src ->
+        handle_errors (fun () ->
+            let options = make_options opt_level if_conv scheduler fus allocator encoding in
+            let d = Flow.synthesize ~options src in
+            let port_ty name =
+              match
+                List.find_opt (fun (n, _, _) -> n = name) (Flow.ports_of d.Flow.prog)
+              with
+              | Some (_, _, ty) -> ty
+              | None ->
+                  Printf.eprintf "error: no port %s\n" name;
+                  exit 1
+            in
+            let parse_input s =
+              match String.index_opt s '=' with
+              | None ->
+                  Printf.eprintf "error: input %S is not NAME=VALUE\n" s;
+                  exit 1
+              | Some i ->
+                  let name = String.sub s 0 i in
+                  let v = String.sub s (i + 1) (String.length s - i - 1) in
+                  (name, Hls_sim.Beh_sim.to_raw (port_ty name) (float_of_string v))
+            in
+            let inputs = List.map parse_input inputs in
+            let r =
+              match vcd with
+              | Some path ->
+                  let r = Hls_sim.Vcd.dump_to_file d.Flow.datapath ~inputs ~path in
+                  Printf.printf "wrote %s\n" path;
+                  r
+              | None -> Hls_sim.Rtl_sim.run d.Flow.datapath ~inputs
+            in
+            Printf.printf "finished in %d cycles\n" r.Hls_sim.Rtl_sim.cycles;
+            List.iter
+              (fun (name, _, ty) ->
+                match List.assoc_opt name r.Hls_sim.Rtl_sim.finals with
+                | Some raw ->
+                    Printf.printf "%s = %g (raw %d)\n" name
+                      (Hls_sim.Beh_sim.of_raw ty raw) raw
+                | None -> ())
+              (List.filter (fun (_, d, _) -> d = `Out) (Flow.ports_of d.Flow.prog)))
+  in
+  let info = Cmd.info "run" ~doc:"Synthesize and simulate the RTL on given inputs." in
+  Cmd.v info
+    Term.(
+      const run $ source_file $ example $ opt_level $ if_convert_flag $ scheduler $ fus
+      $ allocator $ encoding $ inputs_arg $ vcd_out)
+
+(* ---- explore ---- *)
+
+let explore_cmd =
+  let run file example opt_level if_conv scheduler allocator encoding =
+    match read_source file example with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+    | Ok src ->
+        handle_errors (fun () ->
+            let base = make_options opt_level if_conv scheduler 2 allocator encoding in
+            let points = Explore.sweep_limits ~base src in
+            print_string (Explore.table points))
+  in
+  let info = Cmd.info "explore" ~doc:"Sweep resource limits; print the trade-off table." in
+  Cmd.v info
+    Term.(
+      const run $ source_file $ example $ opt_level $ if_convert_flag $ scheduler
+      $ allocator $ encoding)
+
+(* ---- examples ---- *)
+
+let examples_cmd =
+  let run () =
+    List.iter (fun (name, _) -> print_endline name) Workloads.all
+  in
+  let info = Cmd.info "examples" ~doc:"List built-in workloads." in
+  Cmd.v info Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "hlsc" ~version:"1.0.0"
+      ~doc:"High-level synthesis: behavioral specifications to RTL structures."
+  in
+  exit (Cmd.eval (Cmd.group info [ synth_cmd; run_cmd; explore_cmd; examples_cmd ]))

@@ -1,0 +1,1 @@
+examples/diffeq_dse.ml: Explore Flow Hls_core List Printf Workloads

@@ -1,0 +1,1 @@
+examples/explore_sqrt.ml: Cfg_sched Explore Flow Hls_cdfg Hls_core Hls_ctrl Hls_lang Hls_rtl Hls_sched Hls_transform Limits List List_sched Printf String Workloads

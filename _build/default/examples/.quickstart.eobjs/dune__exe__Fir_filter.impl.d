@@ -1,0 +1,1 @@
+examples/fir_filter.ml: Array Depgraph Flow Hls_cdfg Hls_core Hls_lang Hls_rtl Hls_sched Hls_sim Hls_transform Limits List Printf Workloads

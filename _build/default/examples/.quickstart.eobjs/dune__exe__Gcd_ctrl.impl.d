@@ -1,0 +1,1 @@
+examples/gcd_ctrl.ml: Array Flow Format Hashtbl Hls_core Hls_ctrl Hls_rtl Hls_sim Hls_util List Printf Table Workloads

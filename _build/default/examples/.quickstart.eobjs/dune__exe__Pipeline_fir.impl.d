@@ -1,0 +1,1 @@
+examples/pipeline_fir.ml: Depgraph Flow Hls_cdfg Hls_core Hls_lang Hls_sched Hls_transform Hls_util Limits List Option Pipeline Printf Schedule String Table Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flow Hls_core Hls_lang Hls_rtl Hls_sim List Printf Report Workloads

@@ -1,0 +1,1 @@
+lib/alloc/fu_alloc.ml: Array Cfg Clique Dfg Format Hashtbl Hls_cdfg Hls_sched Lifetime List Op Printf String

@@ -1,0 +1,1 @@
+lib/alloc/fu_alloc.mli: Cfg Dfg Format Hashtbl Hls_cdfg Hls_sched Lifetime Op

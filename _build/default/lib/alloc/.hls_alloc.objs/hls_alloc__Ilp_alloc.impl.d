@@ -1,0 +1,1 @@
+lib/alloc/ilp_alloc.ml: Array Binprog Fu_alloc Fun Hashtbl Hls_cdfg Hls_util List Printf

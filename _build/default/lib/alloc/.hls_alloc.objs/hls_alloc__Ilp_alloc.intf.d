@@ -1,0 +1,1 @@
+lib/alloc/ilp_alloc.mli: Fu_alloc Hls_sched

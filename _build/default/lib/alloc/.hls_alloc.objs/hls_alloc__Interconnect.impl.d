@@ -1,0 +1,1 @@
+lib/alloc/interconnect.ml: Array Cfg Clique Dfg Format Fu_alloc Hashtbl Hls_cdfg Hls_sched Hls_util Lifetime List Op Reg_alloc

@@ -1,0 +1,1 @@
+lib/alloc/interconnect.mli: Cfg Dfg Format Fu_alloc Hls_cdfg Hls_sched Reg_alloc

@@ -1,0 +1,1 @@
+lib/alloc/left_edge.ml: Hls_util Interval List

@@ -1,0 +1,1 @@
+lib/alloc/left_edge.mli: Hls_util

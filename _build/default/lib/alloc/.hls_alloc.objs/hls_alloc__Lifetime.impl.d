@@ -1,0 +1,1 @@
+lib/alloc/lifetime.ml: Array Dfg Hls_cdfg Hls_sched Hls_util Interval List Op

@@ -1,0 +1,1 @@
+lib/alloc/lifetime.mli: Dfg Hls_cdfg Hls_sched Hls_util

@@ -1,0 +1,1 @@
+lib/alloc/reg_alloc.ml: Array Cfg Clique Dfg Format Hashtbl Hls_cdfg Hls_sched Left_edge Lifetime List Liveness String

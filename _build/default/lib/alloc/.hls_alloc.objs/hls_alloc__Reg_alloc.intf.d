@@ -1,0 +1,1 @@
+lib/alloc/reg_alloc.mli: Cfg Dfg Format Hls_cdfg Hls_sched

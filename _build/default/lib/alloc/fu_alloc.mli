@@ -1,0 +1,70 @@
+(** Functional-unit allocation: grouping step-occupying operations onto
+    shared functional units.
+
+    Two operations can share a unit iff the unit class can execute both
+    and they never execute simultaneously — different control steps, or
+    different basic blocks (blocks are mutually exclusive in time).
+
+    Two technique families from section 3.2 of the paper:
+    - {!by_clique} — global: clique partitioning of the compatibility
+      graph (Fig 7);
+    - {!greedy} — iterative/constructive: operations are assigned in
+      control-step order; with [`Min_mux] selection each op goes to the
+      compatible free unit whose input connections grow the least
+      (Fig 6's "a2 was assigned to adder2 since the increase in
+      multiplexing cost was zero"); with [`First_fit] it goes to the
+      first free unit, ignoring interconnect. *)
+
+open Hls_cdfg
+
+type op_ref = {
+  bid : Cfg.bid;
+  nid : Dfg.nid;
+  cls : Op.fu_class;
+  step : int;  (** control step within the block *)
+}
+
+(** Where an operand comes from, for interconnect costing. Functional
+    units read from registers and constants (values always latch between
+    steps); a free chain's combinational output is a distinct wiring
+    source. *)
+type source =
+  | From_var of string  (** a variable's register *)
+  | From_const of int
+  | From_temp of Cfg.bid * Dfg.nid  (** temp register of a producing value *)
+  | From_wire of Cfg.bid * Dfg.nid  (** output of a free (wiring) node *)
+
+type instance = { fu_id : int; fu_cls : Op.fu_class; ops : op_ref list }
+
+type t = {
+  instances : instance list;
+  of_op : (Cfg.bid * Dfg.nid) -> int;  (** op → unit id *)
+}
+
+val collect : Hls_sched.Cfg_sched.t -> op_ref list
+(** All step-occupying operations of the scheduled program, in (block,
+    step, node) order. *)
+
+val by_clique : Hls_sched.Cfg_sched.t -> t
+(** One clique partition per functional-unit class. *)
+
+val greedy : ?selection:[ `Min_mux | `First_fit ] -> Hls_sched.Cfg_sched.t -> t
+(** Constructive allocation in step order (default [`Min_mux]). *)
+
+val n_units : t -> int
+val units_by_class : t -> (Op.fu_class * int) list
+
+val source_of : Hls_sched.Cfg_sched.t -> Cfg.bid -> Dfg.nid -> source
+(** Storage source feeding an operand (resolves lifetime classification). *)
+
+val storage_table :
+  Hls_sched.Cfg_sched.t -> (Cfg.bid * Dfg.nid, Lifetime.storage) Hashtbl.t
+(** Lifetime classification of every stored value of the design (shared
+    by interconnect allocation and datapath construction). *)
+
+val mux_inputs : Hls_sched.Cfg_sched.t -> t -> int
+(** Total extra multiplexer inputs implied by the unit binding: for every
+    unit input port, [max 0 (distinct sources - 1)] — the cost greedy
+    [`Min_mux] minimizes. *)
+
+val pp : Format.formatter -> t -> unit

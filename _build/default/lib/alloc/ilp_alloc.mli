@@ -1,0 +1,15 @@
+(** Functional-unit allocation as a 0/1 mathematical program (the
+    Hafer-style global technique of section 3.2.2): a variable per
+    (operation, candidate unit) assignment, exactly-one selection per
+    operation, forbidden pairs for operations that execute
+    simultaneously, unit-usage indicator variables, and an objective
+    minimizing the number of units. Exact via {!Hls_util.Binprog} —
+    "this was done by Hafer on a small example"; the clique and greedy
+    allocators remain the practical paths. *)
+
+val allocate : ?op_cap:int -> Hls_sched.Cfg_sched.t -> Fu_alloc.t option
+(** Minimum-unit binding of all step-occupying operations. [None] when
+    the design has more than [op_cap] operations (default 14). *)
+
+val min_units : ?op_cap:int -> Hls_sched.Cfg_sched.t -> int option
+(** Just the optimal unit count. *)

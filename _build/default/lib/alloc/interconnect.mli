@@ -1,0 +1,47 @@
+(** Interconnect (communication-path) allocation: multiplexer sizing and
+    bus allocation ("communication paths, including buses and
+    multiplexers, must be chosen so that the functional units and
+    registers are connected as necessary to support the data transfers
+    required by the specification and the schedule").
+
+    A {e transfer} is one physical data movement implied by the design:
+    a value arriving at a functional-unit input port, or a value latched
+    into a (variable or temporary) register. With point-to-point wiring,
+    each destination with more than one distinct source needs a
+    multiplexer ({!mux_cost} counts total extra mux inputs). With buses
+    — "distributed multiplexers" — transfers that never occur in the
+    same control step (or that carry the same source) can share one bus;
+    {!bus_allocation} clique-partitions the transfers accordingly. *)
+
+open Hls_cdfg
+
+(** A physical signal source. *)
+type wire =
+  | W_fu_out of int  (** output of functional unit [id] *)
+  | W_var of string  (** variable register output (post-sharing name) *)
+  | W_temp of Cfg.bid * Dfg.nid  (** temporary register output *)
+  | W_wire of Cfg.bid * Dfg.nid  (** combinational free-chain output *)
+  | W_const of int
+
+(** A destination port. *)
+type dest =
+  | D_fu_in of int * int  (** functional unit, input position *)
+  | D_var of string  (** variable register input *)
+  | D_temp of Cfg.bid * Dfg.nid  (** temporary register input *)
+
+type transfer = { t_src : wire; t_dst : dest; t_bid : Cfg.bid; t_step : int }
+
+val transfers :
+  Hls_sched.Cfg_sched.t -> fu:Fu_alloc.t -> regs:Reg_alloc.t -> transfer list
+(** All data transfers of the design, in block/step order. *)
+
+val mux_cost : transfer list -> int
+(** Σ over destinations of [max 0 (distinct sources − 1)]: total 2-input
+    multiplexer equivalents for point-to-point interconnect. *)
+
+val bus_allocation : transfer list -> transfer list list * int
+(** Clique partition of transfers onto buses; returns the groups and the
+    bus count. Two transfers may share a bus iff they occur in different
+    (block, step) slots or carry the same source. *)
+
+val pp_summary : Format.formatter -> transfer list -> unit

@@ -1,0 +1,13 @@
+(** Left-edge interval assignment (Kurdahi & Parker's REAL).
+
+    Values sorted by birth time are packed greedily into register
+    "tracks": each value goes to the first register whose previous
+    occupant died before the value is born. For interval conflicts this
+    is optimal — the number of registers equals the maximum number of
+    simultaneously live values ({!Hls_util.Interval.max_overlap}), the
+    property the unit tests check. *)
+
+val assign : (int * Hls_util.Interval.t) list -> (int * int) list * int
+(** [assign items] where items are [(key, lifetime)] pairs returns
+    ([(key, track)] assignments, number of tracks). Keys must be
+    distinct. *)

@@ -1,0 +1,116 @@
+open Hls_util
+open Hls_cdfg
+
+type storage = In_variable of string | Temp of Interval.t | No_storage
+
+type value_info = {
+  nid : Dfg.nid;
+  produced : int;
+  last_use : int;
+  storage : storage;
+}
+
+(* Stored sources (entry reads and occupying ops) reachable through free
+   chains from [id]; constants excluded. *)
+let rec stored_sources g id acc =
+  match Dfg.op g id with
+  | Op.Const _ -> acc
+  | Op.Read _ -> id :: acc
+  | _ when Dfg.occupies_step g id -> id :: acc
+  | _ -> List.fold_left (fun acc a -> stored_sources g a acc) acc (Dfg.args g id)
+
+let analyze sched ~term_cond =
+  let g = Hls_sched.Schedule.dfg sched in
+  let n = Dfg.n_nodes g in
+  let n_steps = Hls_sched.Schedule.n_steps sched in
+  (* last step each stored value is consumed at *)
+  let last_use = Array.make n 0 in
+  let consume id step =
+    List.iter
+      (fun src -> last_use.(src) <- max last_use.(src) step)
+      (stored_sources g id [])
+  in
+  Dfg.iter
+    (fun id node ->
+      match node.Dfg.op with
+      | Op.Write _ -> (
+          (* a write latches at its producing step; its sources must be
+             readable during that step *)
+          match node.Dfg.args with
+          | [ a ] -> consume a (Hls_sched.Schedule.write_step sched id)
+          | _ -> ())
+      | _ when Dfg.occupies_step g id ->
+          let s = Hls_sched.Schedule.step_of sched id in
+          List.iter (fun a -> consume a s) node.Dfg.args
+      | _ -> ())
+    g;
+  (match term_cond with Some c -> consume c n_steps | None -> ());
+  let writes = Dfg.writes g in
+  let write_step wnid = Hls_sched.Schedule.write_step sched wnid in
+  (* earliest write to a variable in this block, if any *)
+  let first_write v =
+    List.fold_left
+      (fun acc (v', wnid) ->
+        if v' <> v then acc
+        else
+          match acc with
+          | Some w when w <= write_step wnid -> acc
+          | _ -> Some (write_step wnid))
+      None writes
+  in
+  (* the variable a value is directly written to (post-DCE: at most one) *)
+  let written_to id =
+    List.find_map
+      (fun (v, wnid) ->
+        if Dfg.args g wnid = [ id ] then Some (v, wnid) else None)
+      writes
+  in
+  let storage_of id node produced lu =
+    if lu <= produced then No_storage
+    else
+      match node.Dfg.op with
+      | Op.Read v -> (
+          (* the old value stays valid in v's register until the step in
+             which v is overwritten (the new value latches at its end) *)
+          match first_write v with
+          | Some w when w < lu -> Temp (Interval.make w (lu - 1))
+          | Some _ | None -> In_variable v)
+      | _ -> (
+          match written_to id with
+          | Some (v, my_write) ->
+              let overwritten =
+                List.exists
+                  (fun (v', wnid) ->
+                    v' = v && wnid <> my_write
+                    && write_step wnid >= produced
+                    && write_step wnid < lu)
+                  writes
+              in
+              if overwritten then Temp (Interval.make produced (lu - 1))
+              else In_variable v
+          | None -> Temp (Interval.make produced (lu - 1)))
+  in
+  let infos = ref [] in
+  Dfg.iter
+    (fun id node ->
+      let record produced =
+        let lu = max last_use.(id) produced in
+        infos :=
+          { nid = id; produced; last_use = lu; storage = storage_of id node produced lu }
+          :: !infos
+      in
+      match node.Dfg.op with
+      | Op.Read _ -> record 0
+      | Op.Write _ -> () (* a write stores into a variable, it is not a value *)
+      | _ when Dfg.occupies_step g id -> record (Hls_sched.Schedule.step_of sched id)
+      | _ -> ())
+    g;
+  List.rev !infos
+
+let temps infos =
+  List.filter_map
+    (fun info ->
+      match info.storage with
+      | Temp iv -> Some (info.nid, iv)
+      | In_variable _ | No_storage -> None)
+    infos

@@ -1,0 +1,42 @@
+(** Value lifetime analysis over a scheduled block — the input to
+    register allocation ("values that are generated in one control step
+    and used in another must be assigned to storage").
+
+    A {e stored value} is an entry read or a step-occupying operation's
+    result. Free operations are wiring: consuming a free chain's output
+    means the chain's underlying stored sources must still be readable,
+    so consumption is attributed through the chain to those sources. The
+    branch condition is consumed at the block's last step (the FSM
+    transition samples it there).
+
+    Each stored value is classified:
+    - [In_variable v] — the value already lives in [v]'s register for its
+      whole span (it is read from / written to [v] and [v] is not
+      overwritten before the last use); costs no extra register;
+    - [Temp iv] — the value must occupy a temporary register over the
+      step boundaries [iv] (a closed interval: held from the end of step
+      [lo] through the start of step [hi + 1]);
+    - [No_storage] — never crosses a step boundary. *)
+
+open Hls_cdfg
+
+type storage =
+  | In_variable of string
+  | Temp of Hls_util.Interval.t
+  | No_storage
+
+type value_info = {
+  nid : Dfg.nid;
+  produced : int;  (** producing step; 0 for entry values *)
+  last_use : int;  (** last step the value is consumed; [produced] if unused *)
+  storage : storage;
+}
+
+val analyze :
+  Hls_sched.Schedule.t -> term_cond:Dfg.nid option -> value_info list
+(** Analyze one scheduled block. [term_cond] is the branch condition (if
+    the block ends in a conditional branch). Values are listed in node-id
+    order. *)
+
+val temps : value_info list -> (Dfg.nid * Hls_util.Interval.t) list
+(** Just the values needing temporary registers. *)

@@ -1,0 +1,94 @@
+open Hls_cdfg
+
+type t = {
+  temp_tracks : (Cfg.bid * Dfg.nid, int) Hashtbl.t;
+  n_temps : int;
+  var_reg : (string * string) list;  (* variable -> physical register name *)
+  groups : string list list;
+}
+
+let run ?(share_variables = true) ~ports ~outputs cs =
+  let cfg = Hls_sched.Cfg_sched.cfg cs in
+  (* --- temporaries: left-edge per block, tracks shared across blocks --- *)
+  let temp_tracks = Hashtbl.create 32 in
+  let n_temps = ref 0 in
+  List.iter
+    (fun bid ->
+      let sched = Hls_sched.Cfg_sched.block_schedule cs bid in
+      let term_cond =
+        match Cfg.term cfg bid with
+        | Cfg.Branch (c, _, _) -> Some c
+        | Cfg.Goto _ | Cfg.Halt -> None
+      in
+      let infos = Lifetime.analyze sched ~term_cond in
+      let assignment, tracks = Left_edge.assign (Lifetime.temps infos) in
+      List.iter (fun (nid, track) -> Hashtbl.replace temp_tracks (bid, nid) track) assignment;
+      n_temps := max !n_temps tracks)
+    (Cfg.block_ids cfg);
+  (* --- variables: interference from liveness; clique-share --- *)
+  let live = Liveness.analyze ~live_at_exit:outputs cfg in
+  let vars = Liveness.all_variables live in
+  let var_arr = Array.of_list vars in
+  let n = Array.length var_arr in
+  let is_port v = List.mem v ports in
+  (* a physical register latches one value per cycle: variables written in
+     the same (block, step) can never share, independent of liveness *)
+  let write_slots : (string, (Cfg.bid * int) list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun bid ->
+      let g = Cfg.dfg cfg bid in
+      let sched = Hls_sched.Cfg_sched.block_schedule cs bid in
+      List.iter
+        (fun (v, wnid) ->
+          let slot = (bid, Hls_sched.Schedule.write_step sched wnid) in
+          let cur = match Hashtbl.find_opt write_slots v with Some l -> l | None -> [] in
+          Hashtbl.replace write_slots v (slot :: cur))
+        (Dfg.writes g))
+    (Cfg.block_ids cfg);
+  let writes_clash a b =
+    let sa = match Hashtbl.find_opt write_slots a with Some l -> l | None -> [] in
+    let sb = match Hashtbl.find_opt write_slots b with Some l -> l | None -> [] in
+    List.exists (fun s -> List.mem s sb) sa
+  in
+  let groups =
+    if share_variables then
+      Clique.partition ~n ~compatible:(fun i j ->
+          let a = var_arr.(i) and b = var_arr.(j) in
+          (not (is_port a))
+          && (not (is_port b))
+          && (not (Liveness.interfere live a b))
+          && not (writes_clash a b))
+      |> List.map (List.map (fun i -> var_arr.(i)))
+    else List.map (fun v -> [ v ]) vars
+  in
+  let var_reg =
+    List.concat_map
+      (fun group ->
+        match group with
+        | rep :: _ -> List.map (fun v -> (v, rep)) group
+        | [] -> [])
+      groups
+  in
+  { temp_tracks; n_temps = !n_temps; var_reg; groups }
+
+let temp_track t bid nid = Hashtbl.find_opt t.temp_tracks (bid, nid)
+
+let n_temp_registers t = t.n_temps
+
+let register_of_var t v =
+  match List.assoc_opt v t.var_reg with Some r -> r | None -> v
+
+let variable_groups t = t.groups
+
+let n_variable_registers t = List.length t.groups
+
+let n_registers t = t.n_temps + List.length t.groups
+
+let pp ppf t =
+  Format.fprintf ppf "temp registers: %d@." t.n_temps;
+  List.iter
+    (fun group ->
+      Format.fprintf ppf "reg %s <- {%s}@."
+        (match group with r :: _ -> r | [] -> "?")
+        (String.concat ", " group))
+    t.groups

@@ -1,0 +1,1 @@
+lib/cdfg/cfg.ml: Array Dfg Dot Format Graph_algo Hashtbl Hls_lang Hls_util List Printf Vec

@@ -1,0 +1,1 @@
+lib/cdfg/compile.ml: Ast Cfg Dfg Fixedpt Hashtbl Hls_lang Hls_util Inline List Op Parser Typecheck Typed

@@ -1,0 +1,1 @@
+lib/cdfg/compile.mli: Cfg Hls_lang

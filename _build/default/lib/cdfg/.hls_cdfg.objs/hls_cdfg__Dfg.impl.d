@@ -1,0 +1,1 @@
+lib/cdfg/dfg.ml: Array Dot Format Hls_lang Hls_util List Op Printf String Vec

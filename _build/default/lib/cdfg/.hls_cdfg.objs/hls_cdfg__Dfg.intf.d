@@ -1,0 +1,1 @@
+lib/cdfg/dfg.mli: Format Hls_lang Op

@@ -1,0 +1,1 @@
+lib/cdfg/graph_algo.mli:

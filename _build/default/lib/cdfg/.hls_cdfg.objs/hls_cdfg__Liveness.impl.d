@@ -1,0 +1,1 @@
+lib/cdfg/liveness.ml: Array Cfg Dfg List Set String

@@ -1,0 +1,1 @@
+lib/cdfg/op.ml: Fixedpt Format Hls_lang Hls_util Printf

@@ -1,0 +1,17 @@
+(** Compilation of a type-checked behavioral program into a control-flow
+    graph of data-flow blocks — the first synthesis step of section 2.
+
+    Within a basic block, assignments are resolved to value arcs (variable
+    reuse does not serialize independent computations); variables crossing
+    block boundaries are anchored with [Read]/[Write] nodes. Loop trip
+    counts are detected for counted [for] loops and for the common
+    counter idiom ([i := c0] before the loop; [i := i + 1] inside;
+    exit condition comparing [i] against a constant — exactly the shape of
+    the paper's sqrt example) and recorded in the CFG. *)
+
+val compile : Hls_lang.Typed.tprogram -> Cfg.t
+(** The resulting CFG is validated before being returned. *)
+
+val compile_source : string -> Hls_lang.Typed.tprogram * Cfg.t
+(** Convenience: parse, inline-expand procedures, type-check and compile
+    BSL source text. *)

@@ -1,0 +1,141 @@
+let preds succs =
+  let n = Array.length succs in
+  let table = Array.make n [] in
+  Array.iteri (fun src dsts -> List.iter (fun d -> table.(d) <- src :: table.(d)) dsts) succs;
+  Array.map List.rev table
+
+let reverse_postorder ~succs ~entry =
+  let n = Array.length succs in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs v =
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      List.iter dfs succs.(v);
+      order := v :: !order
+    end
+  in
+  dfs entry;
+  !order
+
+let reachable ~succs ~entry =
+  let n = Array.length succs in
+  let seen = Array.make n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter dfs succs.(v)
+    end
+  in
+  dfs entry;
+  seen
+
+(* Cooper–Harvey–Kennedy "A Simple, Fast Dominance Algorithm". *)
+let dominators ~succs ~entry =
+  let n = Array.length succs in
+  let rpo = reverse_postorder ~succs ~entry in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i v -> rpo_index.(v) <- i) rpo;
+  let pred_table = preds succs in
+  let idom = Array.make n (-1) in
+  idom.(entry) <- entry;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun v ->
+        if v <> entry then begin
+          let processed_preds =
+            List.filter (fun p -> idom.(p) <> -1) pred_table.(v)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(v) <> new_idom then begin
+                idom.(v) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  idom
+
+let dominates ~idom a b =
+  let rec walk v = if v = a then true else if idom.(v) = v || idom.(v) = -1 then false else walk idom.(v) in
+  if idom.(b) = -1 then false else walk b
+
+let back_edges ~succs ~entry =
+  let idom = dominators ~succs ~entry in
+  let edges = ref [] in
+  Array.iteri
+    (fun src dsts ->
+      if idom.(src) <> -1 then
+        List.iter
+          (fun dst -> if dominates ~idom dst src then edges := (src, dst) :: !edges)
+          dsts)
+    succs;
+  List.rev !edges
+
+let natural_loop ~succs ~back_edge:(tail, header) =
+  let pred_table = preds succs in
+  let members = Hashtbl.create 8 in
+  Hashtbl.add members header ();
+  let rec climb v =
+    if not (Hashtbl.mem members v) then begin
+      Hashtbl.add members v ();
+      List.iter climb pred_table.(v)
+    end
+  in
+  climb tail;
+  Hashtbl.fold (fun v () acc -> v :: acc) members [] |> List.sort compare
+
+let loops ~succs ~entry =
+  let edges = back_edges ~succs ~entry in
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (tail, header) ->
+      let body = natural_loop ~succs ~back_edge:(tail, header) in
+      let cur = try Hashtbl.find by_header header with Not_found -> [] in
+      Hashtbl.replace by_header header (List.sort_uniq compare (cur @ body)))
+    edges;
+  Hashtbl.fold (fun h body acc -> (h, body) :: acc) by_header []
+  |> List.sort compare
+
+let topo_sort ~succs =
+  let n = Array.length succs in
+  let indeg = Array.make n 0 in
+  Array.iter (fun dsts -> List.iter (fun d -> indeg.(d) <- indeg.(d) + 1) dsts) succs;
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr count;
+    order := v :: !order;
+    List.iter
+      (fun d ->
+        indeg.(d) <- indeg.(d) - 1;
+        if indeg.(d) = 0 then Queue.add d queue)
+      succs.(v)
+  done;
+  if !count = n then Some (List.rev !order) else None
+
+let longest_path ~succs ~weight =
+  match topo_sort ~succs with
+  | None -> invalid_arg "Graph_algo.longest_path: graph has a cycle"
+  | Some order ->
+      let n = Array.length succs in
+      let lp = Array.make n 0 in
+      List.iter
+        (fun v ->
+          let succ_max = List.fold_left (fun acc s -> max acc lp.(s)) 0 succs.(v) in
+          lp.(v) <- weight v + succ_max)
+        (List.rev order);
+      lp

@@ -1,0 +1,38 @@
+(** Graph algorithms over dense integer-indexed directed graphs,
+    parameterized by a successor table. Used on the CFG (dominators,
+    natural loops) and on DFGs (orderings). *)
+
+val preds : int list array -> int list array
+(** Reverse the successor table. *)
+
+val reverse_postorder : succs:int list array -> entry:int -> int list
+(** Reverse postorder of the nodes reachable from [entry]. *)
+
+val reachable : succs:int list array -> entry:int -> bool array
+
+val dominators : succs:int list array -> entry:int -> int array
+(** Immediate-dominator table (Cooper–Harvey–Kennedy iteration).
+    [idom.(entry) = entry]; unreachable nodes map to [-1]. *)
+
+val dominates : idom:int array -> int -> int -> bool
+(** [dominates ~idom a b]: does [a] dominate [b]? *)
+
+val back_edges : succs:int list array -> entry:int -> (int * int) list
+(** Edges [(src, dst)] where [dst] dominates [src] — loop back edges. *)
+
+val natural_loop : succs:int list array -> back_edge:int * int -> int list
+(** Blocks of the natural loop of a back edge [(tail, header)]: the header
+    plus all nodes that reach [tail] without passing through the header.
+    Sorted ascending. *)
+
+val loops : succs:int list array -> entry:int -> (int * int list) list
+(** All natural loops as [(header, members)], one entry per distinct
+    header (back edges sharing a header are merged). *)
+
+val topo_sort : succs:int list array -> int list option
+(** Topological order of an acyclic graph, or [None] if a cycle exists. *)
+
+val longest_path : succs:int list array -> weight:(int -> int) -> int array
+(** For a DAG: maximum total weight of any path starting at each node,
+    inclusive of the node's own weight. Raises [Invalid_argument] on a
+    cyclic graph. *)

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Flow Hls_alloc Hls_cdfg Hls_rtl Hls_sched Hls_util Limits List Printf Table

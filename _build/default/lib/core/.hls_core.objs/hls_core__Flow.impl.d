@@ -1,0 +1,1 @@
+lib/core/flow.ml: Ast Cfg_sched Hls_alloc Hls_cdfg Hls_ctrl Hls_lang Hls_rtl Hls_sched Hls_sim Hls_transform Inline Limits List Parser Printf String Typecheck Typed

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Ast Cfg_sched Hls_alloc Hls_cdfg Hls_ctrl Hls_lang Hls_rtl Hls_sched Hls_sim Limits Typed

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Flow Format Hls_alloc Hls_cdfg Hls_ctrl Hls_lang Hls_rtl Hls_sched List Printf

@@ -1,0 +1,75 @@
+open Hls_util
+open Hls_sched
+
+type point = {
+  label : string;
+  options : Flow.options;
+  design : Flow.design;
+  area : int;
+  latency_ns : float;
+}
+
+let default_limits =
+  [
+    Limits.Serial;
+    Limits.Total 2;
+    Limits.Total 3;
+    Limits.Total 4;
+    Limits.Classes [ (Hls_cdfg.Op.C_alu, 1); (Hls_cdfg.Op.C_mul, 1); (Hls_cdfg.Op.C_div, 1) ];
+  ]
+
+let point_of label options design =
+  {
+    label;
+    options;
+    design;
+    area = design.Flow.estimate.Hls_rtl.Estimate.total_area;
+    latency_ns = design.Flow.estimate.Hls_rtl.Estimate.latency_ns;
+  }
+
+let sweep_limits ?(base = Flow.default_options) ?(limits = default_limits) src =
+  List.map
+    (fun l ->
+      let options = { base with Flow.limits = l } in
+      let design = Flow.synthesize ~options src in
+      point_of (Limits.to_string l) options design)
+    limits
+
+let default_schedulers =
+  [ Flow.Asap; Flow.List_path; Flow.List_mobility; Flow.Freedom; Flow.Branch_bound;
+    Flow.Ilp_exact; Flow.Trans_parallel; Flow.Trans_serial ]
+
+let sweep_schedulers ?(base = Flow.default_options) ?(schedulers = default_schedulers) src =
+  List.map
+    (fun s ->
+      let options = { base with Flow.scheduler = s } in
+      let design = Flow.synthesize ~options src in
+      point_of (Flow.scheduler_to_string s) options design)
+    schedulers
+
+let dominates a b =
+  (a.area <= b.area && a.latency_ns < b.latency_ns)
+  || (a.area < b.area && a.latency_ns <= b.latency_ns)
+
+let pareto points =
+  List.filter (fun p -> not (List.exists (fun q -> dominates q p) points)) points
+  |> List.sort (fun a b -> compare a.area b.area)
+
+let table points =
+  let front = pareto points in
+  let t =
+    Table.create ~headers:[ "design"; "FUs"; "steps"; "area"; "latency(ns)"; "pareto" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.label;
+          string_of_int (Hls_alloc.Fu_alloc.n_units p.design.Flow.fu);
+          string_of_int p.design.Flow.estimate.Hls_rtl.Estimate.compute_steps;
+          string_of_int p.area;
+          Printf.sprintf "%.0f" p.latency_ns;
+          (if List.memq p front then "*" else "");
+        ])
+    points;
+  Table.render t

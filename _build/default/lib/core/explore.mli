@@ -1,0 +1,30 @@
+(** Design-space exploration — "a good synthesis system can produce
+    several designs for the same specification in a reasonable amount of
+    time [to] explore different trade-offs between cost, speed, power".
+
+    Sweeps resource limits (and optionally schedulers) over one
+    specification, estimates each design, and reports the area/latency
+    Pareto frontier. *)
+
+type point = {
+  label : string;
+  options : Flow.options;
+  design : Flow.design;
+  area : int;
+  latency_ns : float;
+}
+
+val sweep_limits :
+  ?base:Flow.options -> ?limits:Hls_sched.Limits.t list -> string -> point list
+(** Synthesize the BSL source under each resource limit (default: serial,
+    2, 3 and 4 general units, and a 1-ALU/1-multiplier/1-divider split). *)
+
+val sweep_schedulers :
+  ?base:Flow.options -> ?schedulers:Flow.scheduler list -> string -> point list
+
+val pareto : point list -> point list
+(** Points not dominated in (area, latency), sorted by area. *)
+
+val table : point list -> string
+(** Rendered comparison table (label, FUs, steps, area, latency, Pareto
+    marker). *)

@@ -1,0 +1,155 @@
+open Hls_lang
+open Hls_sched
+
+type scheduler =
+  | Asap
+  | List_path
+  | List_mobility
+  | Force_directed of int
+  | Freedom
+  | Branch_bound
+  | Ilp_exact
+  | Trans_parallel
+  | Trans_serial
+
+let scheduler_to_string = function
+  | Asap -> "asap"
+  | List_path -> "list/path"
+  | List_mobility -> "list/mobility"
+  | Force_directed k -> Printf.sprintf "force-directed+%d" k
+  | Freedom -> "freedom"
+  | Branch_bound -> "branch-and-bound"
+  | Ilp_exact -> "0/1-programming"
+  | Trans_parallel -> "transformational/parallel"
+  | Trans_serial -> "transformational/serial"
+
+type options = {
+  opt_level : [ `None | `Standard | `Aggressive ];
+  if_conversion : bool;
+  scheduler : scheduler;
+  limits : Limits.t;
+  allocator : [ `Clique | `Greedy_min_mux | `Greedy_first_fit ];
+  share_variables : bool;
+  encoding : Hls_ctrl.Encoding.style;
+}
+
+let default_options =
+  {
+    opt_level = `Standard;
+    if_conversion = false;
+    scheduler = List_path;
+    limits = Limits.two_fu;
+    allocator = `Greedy_min_mux;
+    share_variables = true;
+    encoding = Hls_ctrl.Encoding.Binary;
+  }
+
+type design = {
+  options : options;
+  prog : Typed.tprogram;
+  cfg : Hls_cdfg.Cfg.t;
+  sched : Cfg_sched.t;
+  fu : Hls_alloc.Fu_alloc.t;
+  regs : Hls_alloc.Reg_alloc.t;
+  transfers : Hls_alloc.Interconnect.transfer list;
+  datapath : Hls_rtl.Datapath.t;
+  controller : Hls_ctrl.Ctrl_synth.t;
+  estimate : Hls_rtl.Estimate.t;
+}
+
+let ports_of (p : Typed.tprogram) =
+  List.map
+    (fun (port : Ast.port) ->
+      ( port.Ast.pname,
+        (match port.Ast.pdir with Ast.Input -> `In | Ast.Output -> `Out),
+        port.Ast.pty ))
+    p.Typed.tports
+
+let output_names p =
+  List.filter_map (fun (n, d, _) -> if d = `Out then Some n else None) (ports_of p)
+
+let block_scheduler options dfg =
+  match options.scheduler with
+  | Asap -> Hls_sched.Asap.schedule ~limits:options.limits dfg
+  | List_path ->
+      Hls_sched.List_sched.schedule ~priority:Hls_sched.List_sched.Path_length
+        ~limits:options.limits dfg
+  | List_mobility ->
+      let dep = Hls_sched.Depgraph.of_dfg dfg in
+      let deadline = max 1 (Hls_sched.Depgraph.critical_length dep) in
+      Hls_sched.List_sched.schedule
+        ~priority:(Hls_sched.List_sched.Mobility deadline) ~limits:options.limits dfg
+  | Force_directed slack ->
+      let dep = Hls_sched.Depgraph.of_dfg dfg in
+      let deadline = max 1 (Hls_sched.Depgraph.critical_length dep + slack) in
+      Hls_sched.Force_directed.schedule ~deadline dfg
+  | Freedom -> Hls_sched.Freedom.schedule dfg
+  | Branch_bound -> (
+      match Hls_sched.Branch_bound.schedule ~limits:options.limits dfg with
+      | Some s -> s
+      | None -> Hls_sched.List_sched.schedule ~limits:options.limits dfg)
+  | Ilp_exact -> (
+      match Hls_sched.Ilp_sched.schedule ~limits:options.limits dfg with
+      | Some s -> s
+      | None -> Hls_sched.List_sched.schedule ~limits:options.limits dfg)
+  | Trans_parallel -> Hls_sched.Transformational.from_parallel ~limits:options.limits dfg
+  | Trans_serial -> Hls_sched.Transformational.from_serial ~limits:options.limits dfg
+
+let synthesize_program ?(options = default_options) ast =
+  let prog = Typecheck.check (Inline.expand ast) in
+  let cfg0 = Hls_cdfg.Compile.compile prog in
+  let outputs = output_names prog in
+  let cfg = Hls_transform.Passes.optimize ~level:options.opt_level ~outputs cfg0 in
+  let cfg =
+    if options.if_conversion then begin
+      let cfg, changed = Hls_transform.If_convert.run cfg in
+      if changed then
+        Hls_transform.Passes.optimize ~level:options.opt_level ~outputs
+          (fst (Hls_transform.Clean_cfg.merge cfg))
+      else cfg
+    end
+    else cfg
+  in
+  let sched = Cfg_sched.make cfg ~scheduler:(block_scheduler options) in
+  (* time-constrained schedulers ignore the resource limits; verify the
+     dependence half for them and the full contract otherwise *)
+  let verify_limits =
+    match options.scheduler with
+    | Force_directed _ | Freedom -> Limits.Unlimited
+    | _ -> options.limits
+  in
+  (match Cfg_sched.verify verify_limits sched with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Flow: scheduler produced invalid schedule: %s" e));
+  let fu =
+    match options.allocator with
+    | `Clique -> Hls_alloc.Fu_alloc.by_clique sched
+    | `Greedy_min_mux -> Hls_alloc.Fu_alloc.greedy ~selection:`Min_mux sched
+    | `Greedy_first_fit -> Hls_alloc.Fu_alloc.greedy ~selection:`First_fit sched
+  in
+  let port_names = List.map (fun (n, _, _) -> n) (ports_of prog) in
+  let regs =
+    Hls_alloc.Reg_alloc.run ~share_variables:options.share_variables ~ports:port_names
+      ~outputs sched
+  in
+  let transfers = Hls_alloc.Interconnect.transfers sched ~fu ~regs in
+  let datapath = Hls_rtl.Datapath.build sched ~fu ~regs ~ports:(ports_of prog) in
+  (match Hls_rtl.Check.run datapath with
+  | Ok () -> ()
+  | Error es ->
+      failwith
+        (Printf.sprintf "Flow: datapath checks failed: %s" (String.concat "; " es)));
+  let controller = Hls_ctrl.Ctrl_synth.synthesize ~style:options.encoding datapath.Hls_rtl.Datapath.fsm in
+  let estimate = Hls_rtl.Estimate.estimate ~style:options.encoding datapath sched in
+  { options; prog; cfg; sched; fu; regs; transfers; datapath; controller; estimate }
+
+let synthesize ?options src = synthesize_program ?options (Parser.parse src)
+
+let cosim_design d =
+  {
+    Hls_sim.Cosim.d_prog = d.prog;
+    Hls_sim.Cosim.d_cfg = d.cfg;
+    Hls_sim.Cosim.d_datapath = d.datapath;
+  }
+
+let verify ?runs d = Hls_sim.Cosim.check_random ?runs (cosim_design d)

@@ -1,0 +1,64 @@
+(** The end-to-end synthesis flow: compile → optimize → schedule →
+    allocate → bind → synthesize control → estimate. One call takes a
+    behavioral specification to a complete verified register-transfer
+    design, with every stage's intermediate result exposed. *)
+
+open Hls_lang
+open Hls_sched
+
+type scheduler =
+  | Asap
+  | List_path  (** list scheduling, critical-path priority *)
+  | List_mobility
+  | Force_directed of int  (** extra steps of slack over the critical path *)
+  | Freedom
+  | Branch_bound  (** falls back to list scheduling past 24 ops *)
+  | Ilp_exact  (** Hafer-style 0/1 program; falls back past 12 ops *)
+  | Trans_parallel
+  | Trans_serial
+
+val scheduler_to_string : scheduler -> string
+
+type options = {
+  opt_level : [ `None | `Standard | `Aggressive ];
+  if_conversion : bool;  (** speculate small branch diamonds into muxes *)
+  scheduler : scheduler;
+  limits : Limits.t;
+  allocator : [ `Clique | `Greedy_min_mux | `Greedy_first_fit ];
+  share_variables : bool;
+  encoding : Hls_ctrl.Encoding.style;
+}
+
+val default_options : options
+(** Standard optimization, path-priority list scheduling on two
+    functional units, min-mux greedy allocation, binary encoding. *)
+
+type design = {
+  options : options;
+  prog : Typed.tprogram;
+  cfg : Hls_cdfg.Cfg.t;  (** after optimization *)
+  sched : Cfg_sched.t;
+  fu : Hls_alloc.Fu_alloc.t;
+  regs : Hls_alloc.Reg_alloc.t;
+  transfers : Hls_alloc.Interconnect.transfer list;
+  datapath : Hls_rtl.Datapath.t;
+  controller : Hls_ctrl.Ctrl_synth.t;
+  estimate : Hls_rtl.Estimate.t;
+}
+
+val synthesize_program : ?options:options -> Ast.program -> design
+(** Raises {!Ast.Frontend_error} on bad input, [Invalid_argument] if an
+    internal consistency check fails, and [Failure] if the produced
+    datapath fails the structural netlist checks. *)
+
+val synthesize : ?options:options -> string -> design
+(** Parse BSL source text and synthesize. *)
+
+val ports_of : Typed.tprogram -> (string * [ `In | `Out ] * Ast.ty) list
+val output_names : Typed.tprogram -> string list
+
+val cosim_design : design -> Hls_sim.Cosim.design
+(** Adapter for {!Hls_sim.Cosim}. *)
+
+val verify : ?runs:int -> design -> (unit, string) result
+(** Random-vector co-simulation of the design (behavior = CDFG = RTL). *)

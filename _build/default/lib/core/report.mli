@@ -1,0 +1,12 @@
+(** Human-readable design reports: the "self-documenting design process"
+    the paper lists among the reasons to automate synthesis. *)
+
+val summary : Flow.design -> string
+(** Multi-section report: optimized CDFG statistics, per-block schedule,
+    functional-unit binding, register allocation, interconnect summary,
+    controller costs, and the area/latency estimate. *)
+
+val schedule_table : Flow.design -> string
+(** Per-block control-step table. *)
+
+val print : Flow.design -> unit

@@ -1,0 +1,132 @@
+let sqrt_newton =
+  {|
+-- Fig 1 of the tutorial: square root of X by Newton's method.
+-- A first-degree minimax polynomial approximation over <1/16, 1>
+-- provides the initial value; four iterations suffice.
+module sqrt(input x: fix<8,24>; output y: fix<8,24>);
+var i: int<8>;
+begin
+  y := 0.222222 + 0.888889 * x;
+  i := 0;
+  repeat
+    y := 0.5 * (y + x / y);
+    i := i + 1;
+  until i > 3;
+end
+|}
+
+let diffeq =
+  {|
+-- The HAL differential-equation benchmark (Paulin & Knight):
+-- integrate y'' + 3xy' + 3y = 0 by forward Euler steps of dx until x = a.
+module diffeq(input x_in, y_in, u_in, dx, a: fix<16,16>;
+              output x_out, y_out, u_out: fix<16,16>);
+var x, y, u, x1, u1, y1: fix<16,16>;
+begin
+  x := x_in;
+  y := y_in;
+  u := u_in;
+  while x < a do
+    x1 := x + dx;
+    u1 := u - (3.0 * x * u * dx) - (3.0 * y * dx);
+    y1 := y + u * dx;
+    x := x1;
+    u := u1;
+    y := y1;
+  end;
+  x_out := x;
+  y_out := y;
+  u_out := u;
+end
+|}
+
+let fir8 =
+  {|
+-- 8-tap FIR filter, straight-line (taps presented in parallel).
+module fir8(input x0, x1, x2, x3, x4, x5, x6, x7: fix<8,24>;
+            output y: fix<8,24>);
+begin
+  y := 0.0265 * x0 + 0.1405 * x1 + 0.2500 * x2 + 0.3230 * x3
+     + 0.3230 * x4 + 0.2500 * x5 + 0.1405 * x6 + 0.0265 * x7;
+end
+|}
+
+let gcd =
+  {|
+-- Euclid's algorithm by repeated subtraction: control-dominated.
+module gcd(input a_in, b_in: int<16>; output g: int<16>);
+var a, b: int<16>;
+begin
+  a := a_in;
+  b := b_in;
+  while a <> b do
+    if a > b then
+      a := a - b;
+    else
+      b := b - a;
+    end;
+  end;
+  g := a;
+end
+|}
+
+let biquad3 =
+  {|
+-- Three cascaded direct-form-II biquad sections: an elliptic-wave-
+-- filter-style kernel (long chains of additions and constant
+-- multiplications; the 0.5/0.25 coefficients strength-reduce to
+-- shifts, the rest stay on multipliers). Written with a procedure per
+-- section; inline expansion ("inline expansion of procedures") plus
+-- forwarding/DCE collapse the abstraction back to one flat block.
+module biquad3(input x, s11_in, s12_in, s21_in, s22_in, s31_in, s32_in: fix<8,24>;
+               output y, s11_out, s12_out, s21_out, s22_out, s31_out, s32_out: fix<8,24>);
+proc section(input inp, s1, s2, a1, a2, b1, b2: fix<8,24>;
+             output outp, s1_next, s2_next: fix<8,24>);
+var t: fix<8,24>;
+begin
+  t := inp - a1 * s1 - a2 * s2;
+  outp := t + b1 * s1 + b2 * s2;
+  s2_next := s1;
+  s1_next := t;
+end;
+var y1, y2: fix<8,24>;
+begin
+  call section(x,  s11_in, s12_in, 0.5, 0.25, 0.8, 0.3,  y1, s11_out, s12_out);
+  call section(y1, s21_in, s22_in, 0.4, 0.2,  0.7, 0.35, y2, s21_out, s22_out);
+  call section(y2, s31_in, s32_in, 0.3, 0.15, 0.6, 0.25, y,  s31_out, s32_out);
+end
+|}
+
+let twophase =
+  {|
+-- Two sequential accumulation phases with disjoint live ranges:
+-- s carries phase 1, t carries phase 2, so register allocation can
+-- fold them onto one physical register ("values may be assigned to
+-- the same register when their lifetimes do not overlap").
+module twophase(input a, b: int<16>; output y: int<16>);
+var i: int<8>;
+var s, t: int<16>;
+begin
+  s := a;
+  for i := 0 to 3 do
+    s := s + b;
+  end;
+  t := s * 2;
+  for i := 0 to 3 do
+    t := t - a;
+  end;
+  y := t;
+end
+|}
+
+let all =
+  [
+    ("sqrt", sqrt_newton);
+    ("diffeq", diffeq);
+    ("fir8", fir8);
+    ("gcd", gcd);
+    ("biquad3", biquad3);
+    ("twophase", twophase);
+  ]
+
+let find name = List.assoc name all

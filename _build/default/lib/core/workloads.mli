@@ -1,0 +1,26 @@
+(** Built-in behavioral workloads.
+
+    - [sqrt_newton] — the paper's Fig 1 example: √X by four Newton
+      iterations with a first-degree minimax polynomial start;
+    - [diffeq] — the HAL differential-equation solver (Paulin & Knight),
+      the classic scheduling benchmark of the surveyed systems;
+    - [fir8] — 8-tap FIR filter, a straight-line DSP kernel (the
+      CATHEDRAL domain);
+    - [gcd] — Euclid's algorithm, control-dominated;
+    - [biquad3] — three cascaded direct-form-II biquad sections, an
+      elliptic-wave-filter-style kernel with a long add/multiply chain;
+    - [twophase] — two sequential loop phases with disjoint variable
+      lifetimes, the register-sharing showcase. *)
+
+val sqrt_newton : string
+val diffeq : string
+val fir8 : string
+val gcd : string
+val biquad3 : string
+val twophase : string
+
+val all : (string * string) list
+(** [(name, BSL source)] for every workload. *)
+
+val find : string -> string
+(** Source by name. Raises [Not_found]. *)

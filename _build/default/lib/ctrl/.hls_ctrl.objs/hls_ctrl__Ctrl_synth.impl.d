@@ -1,0 +1,1 @@
+lib/ctrl/ctrl_synth.ml: Array Cfg Dfg Encoding Format Fsm Hashtbl Hls_cdfg List Logic Qm

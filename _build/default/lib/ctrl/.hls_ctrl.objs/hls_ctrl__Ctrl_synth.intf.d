@@ -1,0 +1,1 @@
+lib/ctrl/ctrl_synth.mli: Cfg Dfg Encoding Format Fsm Hls_cdfg Logic

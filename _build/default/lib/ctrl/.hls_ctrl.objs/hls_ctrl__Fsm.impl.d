@@ -1,0 +1,1 @@
+lib/ctrl/fsm.ml: Cfg Dfg Format Hashtbl Hls_cdfg Hls_sched Hls_util List Printf String

@@ -1,0 +1,1 @@
+lib/ctrl/fsm.mli: Cfg Dfg Format Hls_cdfg Hls_sched

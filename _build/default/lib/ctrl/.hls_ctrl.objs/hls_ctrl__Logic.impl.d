@@ -1,0 +1,1 @@
+lib/ctrl/logic.ml: List Printf String

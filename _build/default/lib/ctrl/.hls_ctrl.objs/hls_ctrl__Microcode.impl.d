@@ -1,0 +1,1 @@
+lib/ctrl/microcode.ml: Array Format List Printf

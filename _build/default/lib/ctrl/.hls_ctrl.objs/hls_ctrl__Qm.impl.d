@@ -1,0 +1,1 @@
+lib/ctrl/qm.ml: Array Hashtbl List Logic Set

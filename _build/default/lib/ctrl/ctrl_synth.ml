@@ -1,0 +1,178 @@
+open Hls_cdfg
+
+type t = {
+  enc_style : Encoding.style;
+  state_bits : int;
+  conds : (Cfg.bid * Dfg.nid) list;
+  codes : int array;
+  fsm : Fsm.t;
+  direct : Logic.sop array;
+  minimized : Logic.sop array;
+}
+
+let collect_conds fsm =
+  List.filter_map
+    (fun (tr : Fsm.transition) ->
+      match tr.Fsm.t_guard with
+      | Fsm.G_cond (_, nid) ->
+          let st = List.find (fun (s : Fsm.state) -> s.Fsm.sid = tr.Fsm.t_from) (Fsm.states fsm) in
+          Some (st.Fsm.block, nid)
+      | Fsm.G_always -> None)
+    (Fsm.transitions fsm)
+  |> List.sort_uniq compare
+
+(* cube asserting that the state register holds [code] *)
+let state_cube style ~state_bits ~code =
+  match style with
+  | Encoding.One_hot ->
+      (* with one-hot codes, testing the single 1 bit suffices *)
+      { Logic.mask = code; value = code }
+  | Encoding.Binary | Encoding.Gray ->
+      let mask = (1 lsl state_bits) - 1 in
+      { Logic.mask; value = code land mask }
+
+let cond_bit ~state_bits conds key =
+  let rec idx i = function
+    | [] -> raise Not_found
+    | k :: rest -> if k = key then i else idx (i + 1) rest
+  in
+  state_bits + idx 0 conds
+
+let direct_logic_of fsm style codes state_bits conds =
+  let n_outputs = state_bits in
+  let out = Array.make n_outputs [] in
+  let state_tbl = Hashtbl.create 16 in
+  List.iter (fun (s : Fsm.state) -> Hashtbl.replace state_tbl s.Fsm.sid s) (Fsm.states fsm);
+  List.iter
+    (fun (tr : Fsm.transition) ->
+      let from_state : Fsm.state = Hashtbl.find state_tbl tr.Fsm.t_from in
+      let base = state_cube style ~state_bits ~code:codes.(tr.Fsm.t_from) in
+      let cube =
+        match tr.Fsm.t_guard with
+        | Fsm.G_always -> base
+        | Fsm.G_cond (pol, nid) ->
+            let bit = cond_bit ~state_bits conds (from_state.Fsm.block, nid) in
+            {
+              Logic.mask = base.Logic.mask lor (1 lsl bit);
+              value = base.Logic.value lor (if pol then 1 lsl bit else 0);
+            }
+      in
+      let target = codes.(tr.Fsm.t_to) in
+      for k = 0 to n_outputs - 1 do
+        if target land (1 lsl k) <> 0 then out.(k) <- cube :: out.(k)
+      done)
+    (Fsm.transitions fsm);
+  Array.map List.rev out
+
+(* exact minterm table when tractable *)
+let minimized_logic_of fsm style codes state_bits conds =
+  let n_inputs = state_bits + List.length conds in
+  if n_inputs > 12 then None
+  else begin
+    let n_outputs = state_bits in
+    let code_to_sid = Hashtbl.create 16 in
+    Array.iteri (fun sid code -> Hashtbl.replace code_to_sid code sid) codes;
+    let state_tbl = Hashtbl.create 16 in
+    List.iter (fun (s : Fsm.state) -> Hashtbl.replace state_tbl s.Fsm.sid s) (Fsm.states fsm);
+    let on = Array.make n_outputs [] in
+    let dc = Array.make n_outputs [] in
+    let state_mask = (1 lsl state_bits) - 1 in
+    for x = 0 to (1 lsl n_inputs) - 1 do
+      let scode =
+        match style with
+        | Encoding.One_hot -> x land state_mask
+        | Encoding.Binary | Encoding.Gray -> x land state_mask
+      in
+      match Hashtbl.find_opt code_to_sid scode with
+      | None ->
+          (* unused state code: full don't care *)
+          for k = 0 to n_outputs - 1 do
+            dc.(k) <- x :: dc.(k)
+          done
+      | Some sid ->
+          let from_state : Fsm.state = Hashtbl.find state_tbl sid in
+          let taken =
+            List.find_opt
+              (fun (tr : Fsm.transition) ->
+                match tr.Fsm.t_guard with
+                | Fsm.G_always -> true
+                | Fsm.G_cond (pol, nid) ->
+                    let bit = cond_bit ~state_bits conds (from_state.Fsm.block, nid) in
+                    x land (1 lsl bit) <> 0 = pol)
+              (Fsm.outgoing fsm sid)
+          in
+          let target = match taken with Some tr -> codes.(tr.Fsm.t_to) | None -> scode in
+          for k = 0 to n_outputs - 1 do
+            if target land (1 lsl k) <> 0 then on.(k) <- x :: on.(k)
+          done
+    done;
+    Some
+      (Array.init n_outputs (fun k ->
+           Qm.minimize ~n_inputs ~on_set:on.(k) ~dc_set:dc.(k) ()))
+  end
+
+let synthesize ?(style = Encoding.Binary) fsm =
+  let n = Fsm.n_states fsm in
+  let state_bits = Encoding.width style ~n_states:n in
+  let codes = Encoding.encode style ~n_states:n in
+  let conds = collect_conds fsm in
+  let direct = direct_logic_of fsm style codes state_bits conds in
+  let minimized =
+    match minimized_logic_of fsm style codes state_bits conds with
+    | Some m -> m
+    | None -> direct
+  in
+  { enc_style = style; state_bits; conds; codes; fsm; direct; minimized }
+
+let style t = t.enc_style
+let n_state_bits t = t.state_bits
+let n_inputs t = t.state_bits + List.length t.conds
+let cond_signals t = t.conds
+let state_code t sid = t.codes.(sid)
+let next_logic t = t.minimized
+let direct_logic t = t.direct
+
+let next_state t ~state ~conds =
+  let x = ref t.codes.(state) in
+  List.iteri
+    (fun i key ->
+      match List.assoc_opt key conds with
+      | Some true -> x := !x lor (1 lsl (t.state_bits + i))
+      | Some false | None -> ())
+    t.conds;
+  let code =
+    Array.to_list t.minimized
+    |> List.mapi (fun k sop -> if Logic.eval sop !x then 1 lsl k else 0)
+    |> List.fold_left ( lor ) 0
+  in
+  (* decode back to a state id *)
+  let found = ref (-1) in
+  Array.iteri (fun sid c -> if c = code && !found = -1 then found := sid) t.codes;
+  if !found = -1 then invalid_arg "Ctrl_synth.next_state: undecodable next code"
+  else !found
+
+let literal_cost t =
+  Array.fold_left
+    (fun acc sop -> acc + Logic.sop_literals ~n_inputs:(n_inputs t) sop)
+    0 t.minimized
+
+let direct_literal_cost t =
+  Array.fold_left
+    (fun acc sop -> acc + Logic.sop_literals ~n_inputs:(n_inputs t) sop)
+    0 t.direct
+
+let pla_rows t =
+  Array.to_list t.minimized
+  |> List.concat_map (fun sop -> List.map (fun (c : Logic.cube) -> (c.Logic.mask, c.Logic.value)) sop)
+  |> List.sort_uniq compare |> List.length
+
+let pla_cost t ~rows = rows * ((2 * n_inputs t) + t.state_bits)
+
+let pp ppf t =
+  Format.fprintf ppf "%s encoding: %d states, %d state bits, %d condition inputs@."
+    (Encoding.style_to_string t.enc_style)
+    (Fsm.n_states t.fsm) t.state_bits (List.length t.conds);
+  Array.iteri
+    (fun k sop ->
+      Format.fprintf ppf "  D%d = %s@." k (Logic.sop_to_string ~n_inputs:(n_inputs t) sop))
+    t.minimized

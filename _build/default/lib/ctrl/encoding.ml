@@ -1,0 +1,21 @@
+type style = Binary | Gray | One_hot
+
+let style_to_string = function
+  | Binary -> "binary"
+  | Gray -> "gray"
+  | One_hot -> "one-hot"
+
+let bits_for n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  if n <= 1 then 1 else go 1
+
+let width style ~n_states =
+  match style with
+  | Binary | Gray -> bits_for n_states
+  | One_hot -> max 1 n_states
+
+let encode style ~n_states =
+  match style with
+  | Binary -> Array.init n_states (fun i -> i)
+  | Gray -> Array.init n_states (fun i -> i lxor (i lsr 1))
+  | One_hot -> Array.init n_states (fun i -> 1 lsl i)

@@ -1,0 +1,19 @@
+(** State-encoding styles for hardwired control ("the FSM can be
+    synthesized using known methods, including state encoding and
+    optimization of the combinational logic").
+
+    - [Binary] — ⌈log₂ n⌉ flip-flops, densest;
+    - [Gray] — same width, adjacent states differ in one bit (cheap
+      next-state logic for sequential chains, which schedules mostly
+      are);
+    - [One_hot] — n flip-flops, one per state, trivial decode. *)
+
+type style = Binary | Gray | One_hot
+
+val style_to_string : style -> string
+
+val width : style -> n_states:int -> int
+(** Number of state flip-flops. *)
+
+val encode : style -> n_states:int -> int array
+(** Code of each state id. Codes are distinct and fit in [width] bits. *)

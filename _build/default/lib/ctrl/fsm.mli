@@ -1,0 +1,42 @@
+(** Finite-state machine extraction from a schedule: "if hardwired
+    control is chosen, a control step corresponds to a state in the
+    controlling finite state machine".
+
+    Each (block, control step) pair becomes a state; a block's last step
+    hands over according to its terminator — unconditionally, on a branch
+    condition computed in that block, or to the dedicated DONE state,
+    which self-loops until reset. *)
+
+open Hls_cdfg
+
+type state = {
+  sid : int;
+  block : Cfg.bid;  (** [-1] for the DONE state *)
+  step : int;  (** 1-based within the block; 0 for DONE *)
+}
+
+type guard =
+  | G_always
+  | G_cond of bool * Dfg.nid
+      (** taken when the condition value (in the source state's block)
+          equals the polarity *)
+
+type transition = { t_from : int; t_guard : guard; t_to : int }
+
+type t
+
+val of_schedule : Hls_sched.Cfg_sched.t -> t
+
+val states : t -> state list
+val n_states : t -> int
+val transitions : t -> transition list
+val entry : t -> int
+val done_state : t -> int
+
+val state_of : t -> Cfg.bid -> int -> int
+(** State id of (block, step). Raises [Not_found] if absent. *)
+
+val outgoing : t -> int -> transition list
+
+val pp : Format.formatter -> t -> unit
+val to_dot : ?name:string -> t -> string

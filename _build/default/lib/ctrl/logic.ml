@@ -1,0 +1,33 @@
+type cube = { mask : int; value : int }
+
+type sop = cube list
+
+let cube_covers c x = x land c.mask = c.value
+
+let eval sop x = List.exists (fun c -> cube_covers c x) sop
+
+let popcount v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go v 0
+
+let literals ~n_inputs c = popcount (c.mask land ((1 lsl n_inputs) - 1))
+
+let sop_literals ~n_inputs sop =
+  List.fold_left (fun acc c -> acc + literals ~n_inputs c) 0 sop
+
+(* most-significant input first *)
+let cube_to_string ~n_inputs c =
+  let parts = ref [] in
+  for i = 0 to n_inputs - 1 do
+    if c.mask land (1 lsl i) <> 0 then
+      parts :=
+        (if c.value land (1 lsl i) <> 0 then Printf.sprintf "x%d" i
+         else Printf.sprintf "!x%d" i)
+        :: !parts
+  done;
+  match !parts with [] -> "1" | ps -> String.concat "&" ps
+
+let sop_to_string ~n_inputs sop =
+  match sop with
+  | [] -> "0"
+  | cubes -> String.concat " | " (List.map (cube_to_string ~n_inputs) cubes)

@@ -1,0 +1,27 @@
+(** Two-level boolean logic: sums of products over an input vector.
+
+    A cube is a pair [(mask, value)]: the product term asserting that
+    every input bit selected by [mask] equals the corresponding bit of
+    [value] (bits outside [mask] are don't-cares). A function is a list
+    of cubes (OR of ANDs). Used for FSM next-state/output logic and its
+    PLA / random-logic cost models. *)
+
+type cube = { mask : int; value : int }
+
+type sop = cube list
+
+val cube_covers : cube -> int -> bool
+(** Does the product term evaluate true on the input assignment? *)
+
+val eval : sop -> int -> bool
+
+val literals : n_inputs:int -> cube -> int
+(** Number of literals in the product term. *)
+
+val sop_literals : n_inputs:int -> sop -> int
+(** Total literal count — the usual random-logic area proxy. *)
+
+val cube_to_string : n_inputs:int -> cube -> string
+(** E.g. ["x1·¬x3"]; ["1"] for the universal cube. *)
+
+val sop_to_string : n_inputs:int -> sop -> string

@@ -1,0 +1,14 @@
+(** Quine–McCluskey two-level minimization (the "optimization of the
+    combinational logic" step of hardwired-control synthesis).
+
+    Exact prime-implicant generation followed by essential-prime
+    selection and a greedy cover of the remainder. Exponential in the
+    input count — controller logic with ≲16 inputs, which is what
+    schedule FSMs produce, is comfortable. *)
+
+val minimize :
+  n_inputs:int -> on_set:int list -> ?dc_set:int list -> unit -> Logic.sop
+(** Minimal (or near-minimal) sum of products covering every [on_set]
+    assignment, possibly using [dc_set] don't-cares, and covering no
+    assignment outside their union. Raises [Invalid_argument] when
+    [n_inputs] exceeds 20 or the sets overlap. *)

@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Ast Hashtbl List Printf Typed

@@ -1,0 +1,46 @@
+open Ast
+
+let mk e = { e; epos = dummy_pos }
+let mks s = { s; spos = dummy_pos }
+
+let v name = mk (Evar name)
+let int n = mk (Eint n)
+let real x = mk (Ereal x)
+let bool b = mk (Ebool b)
+
+let bin op a b = mk (Ebin (op, a, b))
+
+let ( + ) a b = bin Add a b
+let ( - ) a b = bin Sub a b
+let ( * ) a b = bin Mul a b
+let ( / ) a b = bin Div a b
+let ( mod ) a b = bin Mod a b
+let ( lsl ) a b = bin Shl a b
+let ( lsr ) a b = bin Shr a b
+let ( = ) a b = bin Eq a b
+let ( <> ) a b = bin Ne a b
+let ( < ) a b = bin Lt a b
+let ( <= ) a b = bin Le a b
+let ( > ) a b = bin Gt a b
+let ( >= ) a b = bin Ge a b
+let ( && ) a b = bin And a b
+let ( || ) a b = bin Or a b
+let xor a b = bin Xor a b
+let neg a = mk (Eun (Neg, a))
+let not_ a = mk (Eun (Not, a))
+
+let ( <-- ) name rhs = mks (Sassign (name, rhs))
+let if_ cond then_ else_ = mks (Sif (cond, then_, else_))
+let while_ cond body = mks (Swhile (cond, body))
+let repeat body ~until = mks (Srepeat (body, until))
+let for_ name ~from ~to_ body = mks (Sfor (name, from, to_, body))
+
+let in_ pname pty = { pname; pdir = Input; pty }
+let out pname pty = { pname; pdir = Output; pty }
+let local vname vty = { vname; vty }
+
+let call name args = mks (Scall (name, args))
+
+let proc prname ~params ~vars prbody = { prname; prparams = params; prvars = vars; prbody }
+
+let program ?(procs = []) mname ~ports ~vars body = { mname; ports; procs; vars; body }

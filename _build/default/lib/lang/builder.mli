@@ -1,0 +1,57 @@
+(** Combinators for constructing BSL programs programmatically, used by the
+    example applications and by tests that need precise control over the
+    input graph (e.g. the elliptic-wave-filter benchmark). *)
+
+open Ast
+
+(** {1 Expressions} *)
+
+val v : string -> expr
+(** Variable reference. *)
+
+val int : int -> expr
+val real : float -> expr
+val bool : bool -> expr
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( mod ) : expr -> expr -> expr
+val ( lsl ) : expr -> expr -> expr
+val ( lsr ) : expr -> expr -> expr
+val ( = ) : expr -> expr -> expr
+val ( <> ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+val ( && ) : expr -> expr -> expr
+val ( || ) : expr -> expr -> expr
+val xor : expr -> expr -> expr
+val neg : expr -> expr
+val not_ : expr -> expr
+
+(** {1 Statements} *)
+
+val ( <-- ) : string -> expr -> stmt
+(** Assignment. *)
+
+val if_ : expr -> stmt list -> stmt list -> stmt
+val while_ : expr -> stmt list -> stmt
+val repeat : stmt list -> until:expr -> stmt
+val for_ : string -> from:expr -> to_:expr -> stmt list -> stmt
+
+(** {1 Declarations} *)
+
+val in_ : string -> ty -> port
+val out : string -> ty -> port
+val local : string -> ty -> decl
+
+val call : string -> expr list -> stmt
+(** Procedure call statement. *)
+
+val proc : string -> params:port list -> vars:decl list -> stmt list -> proc_def
+
+val program :
+  ?procs:proc_def list -> string -> ports:port list -> vars:decl list -> stmt list -> program

@@ -1,0 +1,121 @@
+open Ast
+
+(* fresh-name generation for one expansion run *)
+type namer = { mutable counter : int }
+
+let fresh namer base =
+  namer.counter <- namer.counter + 1;
+  Printf.sprintf "__%s_%d" base namer.counter
+
+let rec rename_expr subst (e : expr) : expr =
+  let node =
+    match e.e with
+    | Evar v -> (
+        match List.assoc_opt v subst with Some v' -> Evar v' | None -> Evar v)
+    | Ebin (op, a, b) -> Ebin (op, rename_expr subst a, rename_expr subst b)
+    | Eun (op, a) -> Eun (op, rename_expr subst a)
+    | (Eint _ | Ereal _ | Ebool _) as n -> n
+  in
+  { e with e = node }
+
+let rename_var subst v = match List.assoc_opt v subst with Some v' -> v' | None -> v
+
+let rec rename_stmt subst (st : stmt) : stmt =
+  let node =
+    match st.s with
+    | Sassign (v, rhs) -> Sassign (rename_var subst v, rename_expr subst rhs)
+    | Sif (c, a, b) ->
+        Sif (rename_expr subst c, List.map (rename_stmt subst) a, List.map (rename_stmt subst) b)
+    | Swhile (c, body) -> Swhile (rename_expr subst c, List.map (rename_stmt subst) body)
+    | Srepeat (body, c) -> Srepeat (List.map (rename_stmt subst) body, rename_expr subst c)
+    | Sfor (v, f, t, body) ->
+        Sfor
+          ( rename_var subst v,
+            rename_expr subst f,
+            rename_expr subst t,
+            List.map (rename_stmt subst) body )
+    | Scall (name, args) -> Scall (name, List.map (rename_expr subst) args)
+  in
+  { st with s = node }
+
+(* Expand one call site. Returns the replacement statements and the fresh
+   local declarations they need. *)
+let expand_call namer procs ~depth pos name args expand_stmts =
+  let proc =
+    match List.find_opt (fun (pr : proc_def) -> pr.prname = name) procs with
+    | Some pr -> pr
+    | None -> error pos (Printf.sprintf "call to unknown procedure %s" name)
+  in
+  if depth > List.length procs then
+    error pos (Printf.sprintf "recursive expansion of procedure %s" name);
+  if List.length args <> List.length proc.prparams then
+    error pos
+      (Printf.sprintf "procedure %s expects %d arguments, got %d" name
+         (List.length proc.prparams) (List.length args));
+  (* build the substitution and the binding prelude *)
+  let decls = ref [] in
+  let prelude = ref [] in
+  let subst =
+    List.map2
+      (fun (param : port) (arg : expr) ->
+        match param.pdir with
+        | Input ->
+            let v = fresh namer (name ^ "_" ^ param.pname) in
+            decls := { vname = v; vty = param.pty } :: !decls;
+            prelude := { s = Sassign (v, arg); spos = pos } :: !prelude;
+            (param.pname, v)
+        | Output -> (
+            match arg.e with
+            | Evar v -> (param.pname, v)
+            | _ ->
+                error arg.epos
+                  (Printf.sprintf
+                     "argument for output parameter %s of %s must be a variable"
+                     param.pname name)))
+      proc.prparams args
+  in
+  let subst =
+    subst
+    @ List.map
+        (fun (d : decl) ->
+          let v = fresh namer (name ^ "_" ^ d.vname) in
+          decls := { vname = v; vty = d.vty } :: !decls;
+          (d.vname, v))
+        proc.prvars
+  in
+  let body = List.map (rename_stmt subst) proc.prbody in
+  (* the body may itself contain calls (to other procedures) *)
+  let body, inner_decls = expand_stmts ~depth:(depth + 1) body in
+  (List.rev !prelude @ body, List.rev !decls @ inner_decls)
+
+let expand (p : program) : program =
+  begin
+    let namer = { counter = 0 } in
+    let rec expand_stmts ~depth stmts =
+      List.fold_left
+        (fun (acc_stmts, acc_decls) st ->
+          let replaced, decls = expand_stmt ~depth st in
+          (acc_stmts @ replaced, acc_decls @ decls))
+        ([], []) stmts
+    and expand_stmt ~depth (st : stmt) =
+      match st.s with
+      | Scall (name, args) ->
+          expand_call namer p.procs ~depth st.spos name args expand_stmts
+      | Sassign _ -> ([ st ], [])
+      | Sif (c, a, b) ->
+          let a', da = expand_stmts ~depth a in
+          let b', db = expand_stmts ~depth b in
+          ([ { st with s = Sif (c, a', b') } ], da @ db)
+      | Swhile (c, body) ->
+          let body', d = expand_stmts ~depth body in
+          ([ { st with s = Swhile (c, body') } ], d)
+      | Srepeat (body, c) ->
+          let body', d = expand_stmts ~depth body in
+          ([ { st with s = Srepeat (body', c) } ], d)
+      | Sfor (v, f, t, body) ->
+          let body', d = expand_stmts ~depth body in
+          ([ { st with s = Sfor (v, f, t, body') } ], d)
+    in
+    let body, decls = expand_stmts ~depth:0 p.body in
+    { p with procs = []; vars = p.vars @ decls; body }
+  end

@@ -1,0 +1,21 @@
+(** Inline expansion of procedures — one of the paper's named high-level
+    transformations ("inline expansion of procedures and loop
+    unrolling").
+
+    Every [call p(a1, …, an)] is replaced by the procedure's body with:
+    - each {e input} parameter bound through a fresh local variable
+      initialized to the actual argument expression (so argument
+      expressions evaluate exactly once, before the body);
+    - each {e output} parameter renamed to the actual argument, which
+      must be a bare variable (or output port) reference;
+    - each local variable of the procedure renamed freshly per call
+      site, so distinct expansions never interfere.
+
+    Procedures may call previously-defined procedures; direct or mutual
+    recursion is rejected (hardware has no stack). The result is a
+    procedure-free program ready for type checking. *)
+
+val expand : Ast.program -> Ast.program
+(** Raises {!Ast.Frontend_error} on: calls to unknown procedures, arity
+    mismatches, a non-variable actual for an output parameter, or
+    recursion. Programs without procedures are returned unchanged. *)

@@ -1,0 +1,245 @@
+type token =
+  | INT of int
+  | REAL of float
+  | IDENT of string
+  | KW_MODULE | KW_INPUT | KW_OUTPUT | KW_VAR
+  | KW_BEGIN | KW_END | KW_IF | KW_THEN | KW_ELSE
+  | KW_WHILE | KW_DO | KW_REPEAT | KW_UNTIL | KW_FOR | KW_TO
+  | KW_TRUE | KW_FALSE
+  | KW_AND | KW_OR | KW_XOR | KW_NOT | KW_MOD
+  | KW_INT | KW_FIX | KW_BOOL
+  | KW_PROC | KW_CALL
+  | LPAREN | RPAREN | SEMI | COLON | COMMA
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH
+  | SHL | SHR
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | REAL x -> string_of_float x
+  | IDENT s -> s
+  | KW_MODULE -> "module"
+  | KW_INPUT -> "input"
+  | KW_OUTPUT -> "output"
+  | KW_VAR -> "var"
+  | KW_BEGIN -> "begin"
+  | KW_END -> "end"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_REPEAT -> "repeat"
+  | KW_UNTIL -> "until"
+  | KW_FOR -> "for"
+  | KW_TO -> "to"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_AND -> "and"
+  | KW_OR -> "or"
+  | KW_XOR -> "xor"
+  | KW_NOT -> "not"
+  | KW_MOD -> "mod"
+  | KW_INT -> "int"
+  | KW_FIX -> "fix"
+  | KW_BOOL -> "bool"
+  | KW_PROC -> "proc"
+  | KW_CALL -> "call"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | SEMI -> ";"
+  | COLON -> ":"
+  | COMMA -> ","
+  | ASSIGN -> ":="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"
+
+type lexed = { tok : token; tpos : Ast.pos }
+
+let keyword_table =
+  [
+    ("module", KW_MODULE); ("input", KW_INPUT); ("output", KW_OUTPUT);
+    ("var", KW_VAR); ("begin", KW_BEGIN); ("end", KW_END); ("if", KW_IF);
+    ("then", KW_THEN); ("else", KW_ELSE); ("while", KW_WHILE); ("do", KW_DO);
+    ("repeat", KW_REPEAT); ("until", KW_UNTIL); ("for", KW_FOR); ("to", KW_TO);
+    ("true", KW_TRUE); ("false", KW_FALSE); ("and", KW_AND); ("or", KW_OR);
+    ("xor", KW_XOR); ("not", KW_NOT); ("mod", KW_MOD); ("int", KW_INT);
+    ("fix", KW_FIX); ("bool", KW_BOOL); ("proc", KW_PROC); ("call", KW_CALL);
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+type state = { src : string; mutable i : int; mutable line : int; mutable col : int }
+
+let pos st : Ast.pos = { line = st.line; col = st.col }
+
+let peek_char st = if st.i < String.length st.src then Some st.src.[st.i] else None
+
+let peek_char2 st =
+  if st.i + 1 < String.length st.src then Some st.src.[st.i + 1] else None
+
+let advance st =
+  (match peek_char st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.i <- st.i + 1
+
+let rec skip_ws st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '-' when peek_char2 st = Some '-' ->
+      (* comment to end of line *)
+      let rec to_eol () =
+        match peek_char st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let p = pos st in
+  let start = st.i in
+  while (match peek_char st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_real =
+    peek_char st = Some '.'
+    && (match peek_char2 st with Some c -> is_digit c | None -> false)
+  in
+  if is_real then begin
+    advance st;
+    while (match peek_char st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.i - start) in
+    match float_of_string_opt text with
+    | Some x -> { tok = REAL x; tpos = p }
+    | None -> Ast.error p (Printf.sprintf "malformed real literal %S" text)
+  end
+  else begin
+    let text = String.sub st.src start (st.i - start) in
+    match int_of_string_opt text with
+    | Some n -> { tok = INT n; tpos = p }
+    | None -> Ast.error p (Printf.sprintf "malformed integer literal %S" text)
+  end
+
+let lex_ident st =
+  let p = pos st in
+  let start = st.i in
+  while (match peek_char st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.i - start) in
+  match List.assoc_opt (String.lowercase_ascii text) keyword_table with
+  | Some kw -> { tok = kw; tpos = p }
+  | None -> { tok = IDENT text; tpos = p }
+
+let next_token st =
+  skip_ws st;
+  let p = pos st in
+  match peek_char st with
+  | None -> { tok = EOF; tpos = p }
+  | Some c when is_digit c -> lex_number st
+  | Some c when is_ident_start c -> lex_ident st
+  | Some c -> (
+      let two target result =
+        advance st;
+        if peek_char st = Some target then begin
+          advance st;
+          result
+        end
+        else Ast.error p (Printf.sprintf "unexpected character after '%c'" c)
+      in
+      match c with
+      | '(' ->
+          advance st;
+          { tok = LPAREN; tpos = p }
+      | ')' ->
+          advance st;
+          { tok = RPAREN; tpos = p }
+      | ';' ->
+          advance st;
+          { tok = SEMI; tpos = p }
+      | ',' ->
+          advance st;
+          { tok = COMMA; tpos = p }
+      | '+' ->
+          advance st;
+          { tok = PLUS; tpos = p }
+      | '-' ->
+          advance st;
+          { tok = MINUS; tpos = p }
+      | '*' ->
+          advance st;
+          { tok = STAR; tpos = p }
+      | '/' ->
+          advance st;
+          { tok = SLASH; tpos = p }
+      | '=' ->
+          advance st;
+          { tok = EQ; tpos = p }
+      | ':' ->
+          advance st;
+          if peek_char st = Some '=' then begin
+            advance st;
+            { tok = ASSIGN; tpos = p }
+          end
+          else { tok = COLON; tpos = p }
+      | '<' ->
+          advance st;
+          (match peek_char st with
+          | Some '=' ->
+              advance st;
+              { tok = LE; tpos = p }
+          | Some '>' ->
+              advance st;
+              { tok = NE; tpos = p }
+          | Some '<' ->
+              advance st;
+              { tok = SHL; tpos = p }
+          | Some _ | None -> { tok = LT; tpos = p })
+      | '>' ->
+          advance st;
+          (match peek_char st with
+          | Some '=' ->
+              advance st;
+              { tok = GE; tpos = p }
+          | Some '>' ->
+              advance st;
+              { tok = SHR; tpos = p }
+          | Some _ | None -> { tok = GT; tpos = p })
+      | '&' -> two '&' { tok = KW_AND; tpos = p }
+      | '|' -> two '|' { tok = KW_OR; tpos = p }
+      | c -> Ast.error p (Printf.sprintf "illegal character '%c'" c))
+
+let tokenize src =
+  let st = { src; i = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let t = next_token st in
+    match t.tok with EOF -> List.rev (t :: acc) | _ -> loop (t :: acc)
+  in
+  loop []

@@ -1,0 +1,30 @@
+(** Hand-written lexer for the behavioral specification language. *)
+
+type token =
+  | INT of int
+  | REAL of float
+  | IDENT of string
+  (* keywords *)
+  | KW_MODULE | KW_INPUT | KW_OUTPUT | KW_VAR
+  | KW_BEGIN | KW_END | KW_IF | KW_THEN | KW_ELSE
+  | KW_WHILE | KW_DO | KW_REPEAT | KW_UNTIL | KW_FOR | KW_TO
+  | KW_TRUE | KW_FALSE
+  | KW_AND | KW_OR | KW_XOR | KW_NOT | KW_MOD
+  | KW_INT | KW_FIX | KW_BOOL
+  | KW_PROC | KW_CALL
+  (* punctuation and operators *)
+  | LPAREN | RPAREN | SEMI | COLON | COMMA
+  | ASSIGN            (** [:=] *)
+  | PLUS | MINUS | STAR | SLASH
+  | SHL | SHR         (** [<<], [>>] *)
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+val token_to_string : token -> string
+
+type lexed = { tok : token; tpos : Ast.pos }
+
+val tokenize : string -> lexed list
+(** Tokenize an entire source string. Comments run from ["--"] to end of
+    line. Raises {!Ast.Frontend_error} on illegal characters or malformed
+    numbers. The result always ends with an [EOF] token. *)

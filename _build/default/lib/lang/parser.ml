@@ -1,0 +1,399 @@
+open Ast
+
+type state = { toks : Lexer.lexed array; mutable i : int }
+
+let cur st = st.toks.(st.i)
+
+let cur_tok st = (cur st).tok
+
+let cur_pos st = (cur st).tpos
+
+let advance st = if st.i < Array.length st.toks - 1 then st.i <- st.i + 1
+
+let expect st tok =
+  if cur_tok st = tok then advance st
+  else
+    error (cur_pos st)
+      (Printf.sprintf "expected '%s' but found '%s'" (Lexer.token_to_string tok)
+         (Lexer.token_to_string (cur_tok st)))
+
+let expect_ident st =
+  match cur_tok st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t ->
+      error (cur_pos st)
+        (Printf.sprintf "expected identifier but found '%s'" (Lexer.token_to_string t))
+
+let expect_int st =
+  match cur_tok st with
+  | Lexer.INT n ->
+      advance st;
+      n
+  | t ->
+      error (cur_pos st)
+        (Printf.sprintf "expected integer but found '%s'" (Lexer.token_to_string t))
+
+(* ---- types ---- *)
+
+let parse_ty st =
+  match cur_tok st with
+  | Lexer.KW_BOOL ->
+      advance st;
+      Tbool
+  | Lexer.KW_INT ->
+      advance st;
+      expect st Lexer.LT;
+      let w = expect_int st in
+      expect st Lexer.GT;
+      if w < 1 || w > 62 then error (cur_pos st) "int width must be in 1..62";
+      Tint w
+  | Lexer.KW_FIX ->
+      advance st;
+      expect st Lexer.LT;
+      let i = expect_int st in
+      expect st Lexer.COMMA;
+      let f = expect_int st in
+      expect st Lexer.GT;
+      if i < 0 || f < 0 || i + f < 1 || i + f > 62 then
+        error (cur_pos st) "fix format must have 1..62 total bits";
+      Tfix (i, f)
+  | t ->
+      error (cur_pos st)
+        (Printf.sprintf "expected a type but found '%s'" (Lexer.token_to_string t))
+
+(* ---- expressions ---- *)
+
+let rec parse_expr_prec st =
+  parse_or st
+
+and parse_or st =
+  let rec loop lhs =
+    match cur_tok st with
+    | Lexer.KW_OR ->
+        let p = cur_pos st in
+        advance st;
+        let rhs = parse_and st in
+        loop { e = Ebin (Or, lhs, rhs); epos = p }
+    | _ -> lhs
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop lhs =
+    match cur_tok st with
+    | Lexer.KW_AND ->
+        let p = cur_pos st in
+        advance st;
+        let rhs = parse_cmp st in
+        loop { e = Ebin (And, lhs, rhs); epos = p }
+    | Lexer.KW_XOR ->
+        let p = cur_pos st in
+        advance st;
+        let rhs = parse_cmp st in
+        loop { e = Ebin (Xor, lhs, rhs); epos = p }
+    | _ -> lhs
+  in
+  loop (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_shift st in
+  let mk op =
+    let p = cur_pos st in
+    advance st;
+    let rhs = parse_shift st in
+    { e = Ebin (op, lhs, rhs); epos = p }
+  in
+  match cur_tok st with
+  | Lexer.EQ -> mk Eq
+  | Lexer.NE -> mk Ne
+  | Lexer.LT -> mk Lt
+  | Lexer.LE -> mk Le
+  | Lexer.GT -> mk Gt
+  | Lexer.GE -> mk Ge
+  | _ -> lhs
+
+and parse_shift st =
+  let rec loop lhs =
+    let mk op =
+      let p = cur_pos st in
+      advance st;
+      let rhs = parse_add st in
+      loop { e = Ebin (op, lhs, rhs); epos = p }
+    in
+    match cur_tok st with
+    | Lexer.SHL -> mk Shl
+    | Lexer.SHR -> mk Shr
+    | _ -> lhs
+  in
+  loop (parse_add st)
+
+and parse_add st =
+  let rec loop lhs =
+    let mk op =
+      let p = cur_pos st in
+      advance st;
+      let rhs = parse_mul st in
+      loop { e = Ebin (op, lhs, rhs); epos = p }
+    in
+    match cur_tok st with
+    | Lexer.PLUS -> mk Add
+    | Lexer.MINUS -> mk Sub
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    let mk op =
+      let p = cur_pos st in
+      advance st;
+      let rhs = parse_unary st in
+      loop { e = Ebin (op, lhs, rhs); epos = p }
+    in
+    match cur_tok st with
+    | Lexer.STAR -> mk Mul
+    | Lexer.SLASH -> mk Div
+    | Lexer.KW_MOD -> mk Mod
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match cur_tok st with
+  | Lexer.MINUS ->
+      let p = cur_pos st in
+      advance st;
+      let operand = parse_unary st in
+      { e = Eun (Neg, operand); epos = p }
+  | Lexer.KW_NOT ->
+      let p = cur_pos st in
+      advance st;
+      let operand = parse_unary st in
+      { e = Eun (Not, operand); epos = p }
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let p = cur_pos st in
+  match cur_tok st with
+  | Lexer.INT n ->
+      advance st;
+      { e = Eint n; epos = p }
+  | Lexer.REAL x ->
+      advance st;
+      { e = Ereal x; epos = p }
+  | Lexer.KW_TRUE ->
+      advance st;
+      { e = Ebool true; epos = p }
+  | Lexer.KW_FALSE ->
+      advance st;
+      { e = Ebool false; epos = p }
+  | Lexer.IDENT name ->
+      advance st;
+      { e = Evar name; epos = p }
+  | Lexer.LPAREN ->
+      advance st;
+      let inner = parse_expr_prec st in
+      expect st Lexer.RPAREN;
+      inner
+  | t ->
+      error p
+        (Printf.sprintf "expected an expression but found '%s'"
+           (Lexer.token_to_string t))
+
+(* ---- statements ---- *)
+
+let rec parse_stmts st ~stop =
+  let rec loop acc =
+    if List.mem (cur_tok st) stop then List.rev acc
+    else begin
+      let stmt = parse_stmt st in
+      expect st Lexer.SEMI;
+      loop (stmt :: acc)
+    end
+  in
+  loop []
+
+and parse_stmt st =
+  let p = cur_pos st in
+  match cur_tok st with
+  | Lexer.IDENT name ->
+      advance st;
+      expect st Lexer.ASSIGN;
+      let rhs = parse_expr_prec st in
+      { s = Sassign (name, rhs); spos = p }
+  | Lexer.KW_IF ->
+      advance st;
+      let cond = parse_expr_prec st in
+      expect st Lexer.KW_THEN;
+      let then_ = parse_stmts st ~stop:[ Lexer.KW_ELSE; Lexer.KW_END ] in
+      let else_ =
+        if cur_tok st = Lexer.KW_ELSE then begin
+          advance st;
+          parse_stmts st ~stop:[ Lexer.KW_END ]
+        end
+        else []
+      in
+      expect st Lexer.KW_END;
+      { s = Sif (cond, then_, else_); spos = p }
+  | Lexer.KW_WHILE ->
+      advance st;
+      let cond = parse_expr_prec st in
+      expect st Lexer.KW_DO;
+      let body = parse_stmts st ~stop:[ Lexer.KW_END ] in
+      expect st Lexer.KW_END;
+      { s = Swhile (cond, body); spos = p }
+  | Lexer.KW_REPEAT ->
+      advance st;
+      let body = parse_stmts st ~stop:[ Lexer.KW_UNTIL ] in
+      expect st Lexer.KW_UNTIL;
+      let cond = parse_expr_prec st in
+      { s = Srepeat (body, cond); spos = p }
+  | Lexer.KW_FOR ->
+      advance st;
+      let name = expect_ident st in
+      expect st Lexer.ASSIGN;
+      let from_ = parse_expr_prec st in
+      expect st Lexer.KW_TO;
+      let to_ = parse_expr_prec st in
+      expect st Lexer.KW_DO;
+      let body = parse_stmts st ~stop:[ Lexer.KW_END ] in
+      expect st Lexer.KW_END;
+      { s = Sfor (name, from_, to_, body); spos = p }
+  | Lexer.KW_CALL ->
+      advance st;
+      let name = expect_ident st in
+      expect st Lexer.LPAREN;
+      let args =
+        if cur_tok st = Lexer.RPAREN then []
+        else begin
+          let rec loop acc =
+            let e = parse_expr_prec st in
+            if cur_tok st = Lexer.COMMA then begin
+              advance st;
+              loop (e :: acc)
+            end
+            else List.rev (e :: acc)
+          in
+          loop []
+        end
+      in
+      expect st Lexer.RPAREN;
+      { s = Scall (name, args); spos = p }
+  | t ->
+      error p
+        (Printf.sprintf "expected a statement but found '%s'"
+           (Lexer.token_to_string t))
+
+(* ---- declarations ---- *)
+
+let parse_names st =
+  let rec loop acc =
+    let name = expect_ident st in
+    if cur_tok st = Lexer.COMMA then begin
+      advance st;
+      loop (name :: acc)
+    end
+    else List.rev (name :: acc)
+  in
+  loop []
+
+let parse_port_group st =
+  let dir =
+    match cur_tok st with
+    | Lexer.KW_INPUT ->
+        advance st;
+        Input
+    | Lexer.KW_OUTPUT ->
+        advance st;
+        Output
+    | t ->
+        error (cur_pos st)
+          (Printf.sprintf "expected 'input' or 'output' but found '%s'"
+             (Lexer.token_to_string t))
+  in
+  let names = parse_names st in
+  expect st Lexer.COLON;
+  let ty = parse_ty st in
+  List.map (fun pname -> { pname; pdir = dir; pty = ty }) names
+
+let parse_ports st =
+  let rec loop acc =
+    let group = parse_port_group st in
+    let acc = acc @ group in
+    if cur_tok st = Lexer.SEMI then begin
+      advance st;
+      loop acc
+    end
+    else acc
+  in
+  if cur_tok st = Lexer.RPAREN then [] else loop []
+
+let parse_vars st =
+  let rec loop acc =
+    if cur_tok st = Lexer.KW_VAR then begin
+      advance st;
+      let names = parse_names st in
+      expect st Lexer.COLON;
+      let ty = parse_ty st in
+      expect st Lexer.SEMI;
+      loop (acc @ List.map (fun vname -> { vname; vty = ty }) names)
+    end
+    else acc
+  in
+  loop []
+
+let parse_proc st =
+  expect st Lexer.KW_PROC;
+  let prname = expect_ident st in
+  expect st Lexer.LPAREN;
+  let prparams = parse_ports st in
+  expect st Lexer.RPAREN;
+  expect st Lexer.SEMI;
+  let prvars = parse_vars st in
+  expect st Lexer.KW_BEGIN;
+  let prbody = parse_stmts st ~stop:[ Lexer.KW_END ] in
+  expect st Lexer.KW_END;
+  if cur_tok st = Lexer.SEMI then advance st;
+  { prname; prparams; prvars; prbody }
+
+let parse_program st =
+  expect st Lexer.KW_MODULE;
+  let mname = expect_ident st in
+  expect st Lexer.LPAREN;
+  let ports = parse_ports st in
+  expect st Lexer.RPAREN;
+  expect st Lexer.SEMI;
+  let rec parse_procs acc =
+    if cur_tok st = Lexer.KW_PROC then parse_procs (parse_proc st :: acc)
+    else List.rev acc
+  in
+  let procs = parse_procs [] in
+  let vars = parse_vars st in
+  expect st Lexer.KW_BEGIN;
+  let body = parse_stmts st ~stop:[ Lexer.KW_END ] in
+  expect st Lexer.KW_END;
+  (* trailing semicolon or EOF both fine *)
+  if cur_tok st = Lexer.SEMI then advance st;
+  (match cur_tok st with
+  | Lexer.EOF -> ()
+  | t ->
+      error (cur_pos st)
+        (Printf.sprintf "trailing input after module: '%s'" (Lexer.token_to_string t)));
+  { mname; ports; procs; vars; body }
+
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); i = 0 }
+
+let parse src = parse_program (make_state src)
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_expr_prec st in
+  (match cur_tok st with
+  | Lexer.EOF -> ()
+  | t ->
+      error (cur_pos st)
+        (Printf.sprintf "trailing input after expression: '%s'"
+           (Lexer.token_to_string t)));
+  e

@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the behavioral specification language.
+
+    Concrete grammar (informally):
+    {v
+    program  ::= "module" IDENT "(" ports ")" ";" vars "begin" stmts "end"
+    ports    ::= port (";" port)*        port ::= ("input"|"output") names ":" ty
+    vars     ::= ("var" names ":" ty ";")*
+    ty       ::= "bool" | "int" "<" INT ">" | "fix" "<" INT "," INT ">"
+    stmts    ::= (stmt ";")*
+    stmt     ::= IDENT ":=" expr
+               | "if" expr "then" stmts ["else" stmts] "end"
+               | "while" expr "do" stmts "end"
+               | "repeat" stmts "until" expr
+               | "for" IDENT ":=" expr "to" expr "do" stmts "end"
+    expr     ::= or-expr with usual precedence:
+                 or < and/xor < comparison < shift < add < mul < unary
+    v} *)
+
+val parse : string -> Ast.program
+(** Parse a full module. Raises {!Ast.Frontend_error} on syntax errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used in tests). *)

@@ -1,0 +1,9 @@
+(** Pretty-printer: AST back to concrete BSL syntax.
+
+    [parse (program_to_string p)] is structurally equal to [p] (up to
+    source positions), a property exercised by the round-trip tests. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val program_to_string : Ast.program -> string
+val pp_program : Format.formatter -> Ast.program -> unit

@@ -1,0 +1,29 @@
+type texpr = { te : texpr_node; ty : Ast.ty }
+
+and texpr_node =
+  | TEint of int
+  | TEreal of float
+  | TEbool of bool
+  | TEvar of string
+  | TEbin of Ast.binop * texpr * texpr
+  | TEun of Ast.unop * texpr
+
+type tstmt =
+  | TSassign of string * texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSrepeat of tstmt list * texpr
+  | TSfor of string * texpr * texpr * tstmt list
+
+type tprogram = {
+  tname : string;
+  tports : Ast.port list;
+  tvars : Ast.decl list;
+  tbody : tstmt list;
+}
+
+let all_vars p =
+  List.map (fun (port : Ast.port) -> (port.pname, port.pty)) p.tports
+  @ List.map (fun (d : Ast.decl) -> (d.vname, d.vty)) p.tvars
+
+let var_ty p name = List.assoc name (all_vars p)

@@ -1,0 +1,34 @@
+(** Type-annotated abstract syntax, the output of {!Typecheck} and the
+    input to CDFG compilation. Every expression carries its resolved type;
+    literal values are still symbolic (scaling to fixed-point bit patterns
+    happens during CDFG compilation). *)
+
+type texpr = { te : texpr_node; ty : Ast.ty }
+
+and texpr_node =
+  | TEint of int
+  | TEreal of float
+  | TEbool of bool
+  | TEvar of string
+  | TEbin of Ast.binop * texpr * texpr
+  | TEun of Ast.unop * texpr
+
+type tstmt =
+  | TSassign of string * texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSrepeat of tstmt list * texpr
+  | TSfor of string * texpr * texpr * tstmt list
+
+type tprogram = {
+  tname : string;
+  tports : Ast.port list;
+  tvars : Ast.decl list;
+  tbody : tstmt list;
+}
+
+val var_ty : tprogram -> string -> Ast.ty
+(** Type of a port or variable. Raises [Not_found] if undeclared. *)
+
+val all_vars : tprogram -> (string * Ast.ty) list
+(** All ports and variables with their types, ports first. *)

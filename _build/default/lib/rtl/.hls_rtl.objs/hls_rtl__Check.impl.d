@@ -1,0 +1,1 @@
+lib/rtl/check.ml: Component Datapath Hashtbl Hls_cdfg Hls_ctrl List Printf Wire

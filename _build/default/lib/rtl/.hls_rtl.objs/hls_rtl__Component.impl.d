@@ -1,0 +1,1 @@
+lib/rtl/component.ml: Hls_cdfg List Op

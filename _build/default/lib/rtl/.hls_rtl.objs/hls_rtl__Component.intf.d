@@ -1,0 +1,1 @@
+lib/rtl/component.mli: Hls_cdfg Op

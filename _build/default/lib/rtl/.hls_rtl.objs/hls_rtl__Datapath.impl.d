@@ -1,0 +1,1 @@
+lib/rtl/datapath.ml: Cfg Component Dfg Fu_alloc Hashtbl Hls_alloc Hls_cdfg Hls_ctrl Hls_lang Hls_sched Hls_util Lifetime List Op Printf Reg_alloc Wire

@@ -1,0 +1,1 @@
+lib/rtl/datapath.mli: Component Hls_alloc Hls_cdfg Hls_ctrl Hls_lang Hls_sched Op Wire

@@ -1,0 +1,1 @@
+lib/rtl/emit.ml: Buffer Component Datapath Hashtbl Hls_cdfg Hls_ctrl Hls_util List Op Printf Wire

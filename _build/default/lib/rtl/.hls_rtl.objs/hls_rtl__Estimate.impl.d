@@ -1,0 +1,1 @@
+lib/rtl/estimate.ml: Component Datapath Format Hashtbl Hls_ctrl Hls_sched List Printf String Wire

@@ -1,0 +1,1 @@
+lib/rtl/estimate.mli: Datapath Format Hls_ctrl Hls_sched

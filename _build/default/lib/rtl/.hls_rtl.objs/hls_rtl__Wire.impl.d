@@ -1,0 +1,1 @@
+lib/rtl/wire.ml: Ast Component Fixedpt Hls_lang Hls_util List Printf

@@ -1,0 +1,1 @@
+lib/rtl/wire.mli: Ast Hls_lang

@@ -1,0 +1,80 @@
+let run (dp : Datapath.t) =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let reg_exists name = List.exists (fun (r : Datapath.reg_def) -> r.Datapath.rname = name) dp.Datapath.regs in
+  let check_wire ctx w =
+    List.iter
+      (fun r -> if not (reg_exists r) then err "%s reads missing register %s" ctx r)
+      (Wire.regs_read w)
+  in
+  (* activations *)
+  let seen_fu_state = Hashtbl.create 32 in
+  List.iter
+    (fun (a : Datapath.activity) ->
+      let key = (a.Datapath.a_fu, a.Datapath.a_state) in
+      if Hashtbl.mem seen_fu_state key then
+        err "functional unit %d double-booked in state %d" a.Datapath.a_fu a.Datapath.a_state
+      else Hashtbl.add seen_fu_state key ();
+      (match List.find_opt (fun (f : Datapath.fu_def) -> f.Datapath.fuid = a.Datapath.a_fu) dp.Datapath.fus with
+      | None -> err "activation references missing unit %d" a.Datapath.a_fu
+      | Some f ->
+          if not (f.Datapath.comp.Component.executes a.Datapath.a_op) then
+            err "unit %d (%s) cannot execute %s" f.Datapath.fuid
+              f.Datapath.comp.Component.cname
+              (Hls_cdfg.Op.to_string a.Datapath.a_op));
+      List.iter (check_wire (Printf.sprintf "fu%d input" a.Datapath.a_fu)) a.Datapath.a_args;
+      (* FU inputs must not depend on same-state FU outputs *)
+      List.iter
+        (fun w ->
+          if Wire.fus_read w <> [] then
+            err "unit %d input chains another unit's output in state %d (unsupported chaining)"
+              a.Datapath.a_fu a.Datapath.a_state)
+        a.Datapath.a_args)
+    dp.Datapath.activities;
+  (* loads *)
+  let seen_reg_state = Hashtbl.create 32 in
+  List.iter
+    (fun (l : Datapath.load) ->
+      let key = (l.Datapath.l_reg, l.Datapath.l_state) in
+      if Hashtbl.mem seen_reg_state key then
+        err "register %s double-driven in state %d" l.Datapath.l_reg l.Datapath.l_state
+      else Hashtbl.add seen_reg_state key ();
+      if not (reg_exists l.Datapath.l_reg) then err "load into missing register %s" l.Datapath.l_reg;
+      check_wire (Printf.sprintf "load of %s" l.Datapath.l_reg) l.Datapath.l_wire;
+      (* any FU outputs consumed must be active in this state *)
+      List.iter
+        (fun u ->
+          let active =
+            List.exists
+              (fun (a : Datapath.activity) ->
+                a.Datapath.a_fu = u && a.Datapath.a_state = l.Datapath.l_state)
+              dp.Datapath.activities
+          in
+          if not active then
+            err "load of %s in state %d consumes idle unit %d" l.Datapath.l_reg
+              l.Datapath.l_state u)
+        (Wire.fus_read l.Datapath.l_wire))
+    dp.Datapath.loads;
+  (* branch conditions *)
+  List.iter
+    (fun (tr : Hls_ctrl.Fsm.transition) ->
+      match tr.Hls_ctrl.Fsm.t_guard with
+      | Hls_ctrl.Fsm.G_cond _ ->
+          if Datapath.cond_wire dp tr.Hls_ctrl.Fsm.t_from = None then
+            err "state %d branches without a condition wire" tr.Hls_ctrl.Fsm.t_from
+      | Hls_ctrl.Fsm.G_always -> ())
+    (Hls_ctrl.Fsm.transitions dp.Datapath.fsm);
+  List.iter
+    (fun (state, w) ->
+      check_wire (Printf.sprintf "condition of state %d" state) w;
+      List.iter
+        (fun u ->
+          let active =
+            List.exists
+              (fun (a : Datapath.activity) -> a.Datapath.a_fu = u && a.Datapath.a_state = state)
+              dp.Datapath.activities
+          in
+          if not active then err "condition of state %d consumes idle unit %d" state u)
+        (Wire.fus_read w))
+    dp.Datapath.conds;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -1,0 +1,12 @@
+(** Structural sanity checks on a built datapath (netlist lint).
+
+    Verified properties:
+    - every register referenced by a wire exists;
+    - at most one activation per functional unit per state, and the
+      unit's bound component can execute the activation's operation;
+    - at most one load per register per state (single driver);
+    - every functional-unit output consumed by a wire in a state comes
+      from a unit actually active in that state;
+    - every state of the FSM that branches has a condition wire. *)
+
+val run : Datapath.t -> (unit, string list) result

@@ -1,0 +1,87 @@
+open Hls_cdfg
+
+type t = {
+  cname : string;
+  cls : Op.fu_class;
+  executes : Op.t -> bool;
+  area_base : int;
+  area_per_bit : int;
+  delay_ns : float;
+}
+
+let add_sub_ops (op : Op.t) =
+  match op with
+  | Op.Add | Op.Sub | Op.Incr | Op.Decr | Op.Neg | Op.Cmp _ -> true
+  | Op.Write _ -> true (* pass-through register move *)
+  | _ -> false
+
+let alu_ops (op : Op.t) =
+  add_sub_ops op || match op with Op.And | Op.Or | Op.Xor | Op.Not -> true | _ -> false
+
+let library =
+  [
+    {
+      cname = "add_sub";
+      cls = Op.C_alu;
+      executes = add_sub_ops;
+      area_base = 20;
+      area_per_bit = 10;
+      delay_ns = 18.0;
+    };
+    {
+      cname = "alu";
+      cls = Op.C_alu;
+      executes = alu_ops;
+      area_base = 40;
+      area_per_bit = 14;
+      delay_ns = 20.0;
+    };
+    {
+      cname = "mult";
+      cls = Op.C_mul;
+      executes = (fun op -> op = Op.Mul);
+      area_base = 100;
+      area_per_bit = 75;
+      delay_ns = 60.0;
+    };
+    {
+      cname = "divider";
+      cls = Op.C_div;
+      executes = (fun op -> match op with Op.Div | Op.Mod -> true | _ -> false);
+      area_base = 150;
+      area_per_bit = 95;
+      delay_ns = 90.0;
+    };
+    {
+      cname = "barrel_shifter";
+      cls = Op.C_shift;
+      executes = (fun op -> match op with Op.Shl | Op.Shr -> true | _ -> false);
+      area_base = 30;
+      area_per_bit = 18;
+      delay_ns = 25.0;
+    };
+  ]
+
+let find name = List.find (fun c -> c.cname = name) library
+
+let area c ~width = c.area_base + (c.area_per_bit * width)
+
+let bind ~cls ~ops =
+  let candidates =
+    List.filter
+      (fun c -> c.cls = cls && List.for_all (fun op -> c.executes op) ops)
+      library
+  in
+  match
+    List.sort (fun a b -> compare (area a ~width:32) (area b ~width:32)) candidates
+  with
+  | c :: _ -> c
+  | [] -> raise Not_found
+
+let register_area ~width = 8 * width
+
+let mux_area ~inputs ~width = max 0 (inputs - 1) * 3 * width
+
+let register_delay_ns = 2.5
+let mux_delay_ns = 1.5
+let free_op_delay_ns = 1.0

@@ -1,0 +1,43 @@
+(** Hardware component library for module binding ("for the binding of
+    functional units, known components such as adders can be taken from a
+    hardware library. Libraries facilitate the synthesis process and the
+    size/timing estimation").
+
+    Area is in gate equivalents: a per-bit cost times the datapath width
+    plus a fixed overhead. Delays are nanoseconds at any width (a
+    simplification documented in DESIGN.md). *)
+
+open Hls_cdfg
+
+type t = {
+  cname : string;
+  cls : Op.fu_class;  (** functional-unit class the component serves *)
+  executes : Op.t -> bool;  (** operation coverage *)
+  area_base : int;
+  area_per_bit : int;
+  delay_ns : float;
+}
+
+val library : t list
+(** The built-in component catalogue: add/sub unit, full ALU,
+    array multiplier, sequential divider, barrel shifter. *)
+
+val find : string -> t
+(** Lookup by name. Raises [Not_found]. *)
+
+val area : t -> width:int -> int
+
+val bind : cls:Op.fu_class -> ops:Op.t list -> t
+(** Cheapest library component of the class covering all the operations
+    (module binding). Raises [Not_found] if nothing covers them. *)
+
+val register_area : width:int -> int
+val mux_area : inputs:int -> width:int -> int
+(** Gate cost of storage and steering logic. *)
+
+val register_delay_ns : float
+val mux_delay_ns : float
+val free_op_delay_ns : float
+(** Wiring-level delays used by cycle-time estimation (register
+    clock-to-q + setup; one 2-way mux level; one free operation such as
+    a constant shift or zero-detect). *)

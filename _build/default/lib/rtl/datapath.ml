@@ -1,0 +1,267 @@
+open Hls_cdfg
+open Hls_alloc
+
+type reg_def = {
+  rname : string;
+  rwidth : int;
+  rkind : [ `In_port | `Out_port | `Var | `Temp ];
+}
+
+type fu_def = { fuid : int; comp : Component.t; fwidth : int }
+
+type activity = {
+  a_state : int;
+  a_fu : int;
+  a_op : Op.t;
+  a_ty : Hls_lang.Ast.ty;
+  a_args : Wire.t list;
+}
+
+type load = { l_state : int; l_reg : string; l_wire : Wire.t }
+
+type t = {
+  regs : reg_def list;
+  fus : fu_def list;
+  activities : activity list;
+  loads : load list;
+  conds : (int * Wire.t) list;
+  fsm : Hls_ctrl.Fsm.t;
+}
+
+let bits_of (ty : Hls_lang.Ast.ty) =
+  match ty with
+  | Hls_lang.Ast.Tbool -> 1
+  | Hls_lang.Ast.Tint w -> w
+  | Hls_lang.Ast.Tfix (i, f) -> i + f
+
+let temp_name track = Printf.sprintf "tmp%d" track
+
+let build cs ~fu ~regs ~ports =
+  let cfg = Hls_sched.Cfg_sched.cfg cs in
+  let storage = Fu_alloc.storage_table cs in
+  let fsm = Hls_ctrl.Fsm.of_schedule cs in
+  (* ---- register inventory ---- *)
+  let widths : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let kinds : (string, [ `In_port | `Out_port | `Var | `Temp ]) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let note_reg name width kind =
+    let cur = match Hashtbl.find_opt widths name with Some w -> w | None -> 0 in
+    Hashtbl.replace widths name (max cur width);
+    (* port kinds take precedence over Var *)
+    match (Hashtbl.find_opt kinds name, kind) with
+    | Some (`In_port | `Out_port), _ -> ()
+    | _, k -> Hashtbl.replace kinds name k
+  in
+  List.iter
+    (fun (p, dir, ty) ->
+      note_reg
+        (Reg_alloc.register_of_var regs p)
+        (bits_of ty)
+        (match dir with `In -> `In_port | `Out -> `Out_port))
+    ports;
+  List.iter
+    (fun bid ->
+      let g = Cfg.dfg cfg bid in
+      Dfg.iter
+        (fun _ node ->
+          match node.Dfg.op with
+          | Op.Read v | Op.Write v ->
+              note_reg (Reg_alloc.register_of_var regs v) (bits_of node.Dfg.ty) `Var
+          | _ -> ())
+        g)
+    (Cfg.block_ids cfg);
+  (* temp registers: width = max over values sharing a track *)
+  List.iter
+    (fun bid ->
+      let g = Cfg.dfg cfg bid in
+      Dfg.iter
+        (fun nid node ->
+          match Reg_alloc.temp_track regs bid nid with
+          | Some track -> note_reg (temp_name track) (bits_of node.Dfg.ty) `Temp
+          | None -> ())
+        g)
+    (Cfg.block_ids cfg);
+  let reg_defs =
+    Hashtbl.fold
+      (fun name width acc ->
+        { rname = name; rwidth = width; rkind = Hashtbl.find kinds name } :: acc)
+      widths []
+    |> List.sort (fun a b -> compare a.rname b.rname)
+  in
+  (* ---- wire construction ---- *)
+  let wire_for bid nid ~step =
+    let g = Cfg.dfg cfg bid in
+    let sched = Hls_sched.Cfg_sched.block_schedule cs bid in
+    let temp_reg nid =
+      match Reg_alloc.temp_track regs bid nid with
+      | Some track -> temp_name track
+      | None -> invalid_arg (Printf.sprintf "Datapath: no temp track for b%d.%%%d" bid nid)
+    in
+    let rec go nid =
+      let node = Dfg.node g nid in
+      match node.Dfg.op with
+      | Op.Const c -> Wire.W_const (c, node.Dfg.ty)
+      | Op.Read v -> (
+          match Hashtbl.find_opt storage (bid, nid) with
+          | Some (Lifetime.Temp iv) when step > iv.Hls_util.Interval.lo ->
+              Wire.W_reg (temp_reg nid)
+          | _ -> Wire.W_reg (Reg_alloc.register_of_var regs v))
+      | Op.Write _ -> invalid_arg "Datapath: a write is not a readable value"
+      | _ when Dfg.occupies_step g nid ->
+          let produced = Hls_sched.Schedule.step_of sched nid in
+          if step = produced then
+            Wire.W_fu_out (fu.Fu_alloc.of_op (bid, nid), node.Dfg.ty)
+          else (
+            match Hashtbl.find_opt storage (bid, nid) with
+            | Some (Lifetime.In_variable v) -> Wire.W_reg (Reg_alloc.register_of_var regs v)
+            | Some (Lifetime.Temp _) -> Wire.W_reg (temp_reg nid)
+            | Some Lifetime.No_storage | None ->
+                invalid_arg
+                  (Printf.sprintf "Datapath: b%d.%%%d consumed at step %d but not stored"
+                     bid nid step))
+      | Op.Shl | Op.Shr -> (
+          match node.Dfg.args with
+          | [ a; amount ] -> (
+              match Dfg.op g amount with
+              | Op.Const k -> (
+                  match node.Dfg.op with
+                  | Op.Shl -> Wire.W_shl (go a, k, node.Dfg.ty)
+                  | _ -> Wire.W_shr (go a, k, node.Dfg.ty))
+              | _ -> invalid_arg "Datapath: variable shift is not free wiring")
+          | _ -> invalid_arg "Datapath: malformed shift")
+      | Op.Zdetect -> (
+          match node.Dfg.args with
+          | [ a ] -> Wire.W_zdetect (go a)
+          | _ -> invalid_arg "Datapath: malformed zdetect")
+      | Op.Mux -> (
+          match node.Dfg.args with
+          | [ c; a; b ] -> Wire.W_mux (go c, go a, go b, node.Dfg.ty)
+          | _ -> invalid_arg "Datapath: malformed mux")
+      | op ->
+          invalid_arg
+            (Printf.sprintf "Datapath: unexpected free operation %s" (Op.to_string op))
+    in
+    go nid
+  in
+  (* ---- functional units and their activations ---- *)
+  let fu_widths : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let fu_ops : (int, Op.t list) Hashtbl.t = Hashtbl.create 8 in
+  let activities = ref [] in
+  List.iter
+    (fun (r : Fu_alloc.op_ref) ->
+      let g = Cfg.dfg cfg r.Fu_alloc.bid in
+      let node = Dfg.node g r.Fu_alloc.nid in
+      let unit_id = fu.Fu_alloc.of_op (r.Fu_alloc.bid, r.Fu_alloc.nid) in
+      let state = Hls_ctrl.Fsm.state_of fsm r.Fu_alloc.bid r.Fu_alloc.step in
+      let args =
+        List.map (fun a -> wire_for r.Fu_alloc.bid a ~step:r.Fu_alloc.step) node.Dfg.args
+      in
+      let cur_w = match Hashtbl.find_opt fu_widths unit_id with Some w -> w | None -> 1 in
+      Hashtbl.replace fu_widths unit_id (max cur_w (bits_of node.Dfg.ty));
+      let cur_ops = match Hashtbl.find_opt fu_ops unit_id with Some l -> l | None -> [] in
+      Hashtbl.replace fu_ops unit_id (node.Dfg.op :: cur_ops);
+      activities :=
+        {
+          a_state = state;
+          a_fu = unit_id;
+          a_op = node.Dfg.op;
+          a_ty = node.Dfg.ty;
+          a_args = args;
+        }
+        :: !activities)
+    (Fu_alloc.collect cs);
+  let fus =
+    List.map
+      (fun (inst : Fu_alloc.instance) ->
+        let fuid = inst.Fu_alloc.fu_id in
+        let ops = match Hashtbl.find_opt fu_ops fuid with Some l -> l | None -> [] in
+        let comp = Component.bind ~cls:inst.Fu_alloc.fu_cls ~ops in
+        let fwidth = match Hashtbl.find_opt fu_widths fuid with Some w -> w | None -> 1 in
+        { fuid; comp; fwidth })
+      fu.Fu_alloc.instances
+  in
+  (* ---- register loads ---- *)
+  let loads = ref [] in
+  List.iter
+    (fun bid ->
+      let g = Cfg.dfg cfg bid in
+      let sched = Hls_sched.Cfg_sched.block_schedule cs bid in
+      (* variable writes *)
+      List.iter
+        (fun (v, wnid) ->
+          let ws = Hls_sched.Schedule.write_step sched wnid in
+          let state = Hls_ctrl.Fsm.state_of fsm bid ws in
+          match Dfg.args g wnid with
+          | [ a ] ->
+              loads :=
+                {
+                  l_state = state;
+                  l_reg = Reg_alloc.register_of_var regs v;
+                  l_wire = wire_for bid a ~step:ws;
+                }
+                :: !loads
+          | _ -> ())
+        (Dfg.writes g);
+      (* temp latches *)
+      let term_cond =
+        match Cfg.term cfg bid with
+        | Cfg.Branch (c, _, _) -> Some c
+        | Cfg.Goto _ | Cfg.Halt -> None
+      in
+      List.iter
+        (fun (info : Lifetime.value_info) ->
+          match info.Lifetime.storage with
+          | Lifetime.Temp iv ->
+              let nid = info.Lifetime.nid in
+              let step = iv.Hls_util.Interval.lo in
+              let state = Hls_ctrl.Fsm.state_of fsm bid step in
+              let track =
+                match Reg_alloc.temp_track regs bid nid with
+                | Some t -> t
+                | None -> invalid_arg "Datapath: temp without track"
+              in
+              loads :=
+                { l_state = state; l_reg = temp_name track; l_wire = wire_for bid nid ~step }
+                :: !loads
+          | Lifetime.In_variable _ | Lifetime.No_storage -> ())
+        (Lifetime.analyze (Hls_sched.Cfg_sched.block_schedule cs bid) ~term_cond))
+    (Cfg.block_ids cfg);
+  (* ---- branch conditions ---- *)
+  let conds =
+    List.filter_map
+      (fun bid ->
+        match Cfg.term cfg bid with
+        | Cfg.Branch (c, _, _) ->
+            let n = Hls_sched.Schedule.n_steps (Hls_sched.Cfg_sched.block_schedule cs bid) in
+            let state = Hls_ctrl.Fsm.state_of fsm bid n in
+            Some (state, wire_for bid c ~step:n)
+        | Cfg.Goto _ | Cfg.Halt -> None)
+      (Cfg.block_ids cfg)
+  in
+  {
+    regs = reg_defs;
+    fus;
+    activities = List.rev !activities;
+    loads = List.rev !loads;
+    conds;
+    fsm;
+  }
+
+let reg_width t name =
+  match List.find_opt (fun r -> r.rname = name) t.regs with
+  | Some r -> r.rwidth
+  | None -> raise Not_found
+
+let fu_of t id = List.find (fun f -> f.fuid = id) t.fus
+
+let activities_in t state = List.filter (fun a -> a.a_state = state) t.activities
+
+let loads_in t state = List.filter (fun l -> l.l_state = state) t.loads
+
+let cond_wire t state = List.assoc_opt state t.conds
+
+let stats t =
+  Printf.sprintf "%d registers, %d functional units, %d activations, %d register loads"
+    (List.length t.regs) (List.length t.fus) (List.length t.activities)
+    (List.length t.loads)

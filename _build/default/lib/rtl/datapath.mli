@@ -1,0 +1,57 @@
+(** Register-transfer-level datapath: the final structure of high-level
+    synthesis — "a network of registers, functional units, multiplexers
+    and buses, as well as hardware to control the data transfers in that
+    network".
+
+    Built from the schedule, the functional-unit allocation and the
+    register allocation. Steering logic appears as per-state wire
+    selections on functional-unit input ports and register inputs; the
+    companion controller ({!Hls_ctrl.Fsm} / {!Hls_ctrl.Ctrl_synth})
+    drives the selections. *)
+
+open Hls_cdfg
+
+type reg_def = {
+  rname : string;
+  rwidth : int;
+  rkind : [ `In_port | `Out_port | `Var | `Temp ];
+}
+
+type fu_def = { fuid : int; comp : Component.t; fwidth : int }
+
+(** One functional-unit activation: in [state], unit [fu] performs [op]
+    at type [ty] on the wire operands. *)
+type activity = { a_state : int; a_fu : int; a_op : Op.t; a_ty : Hls_lang.Ast.ty; a_args : Wire.t list }
+
+type load = { l_state : int; l_reg : string; l_wire : Wire.t }
+
+type t = {
+  regs : reg_def list;
+  fus : fu_def list;
+  activities : activity list;
+  loads : load list;
+  conds : (int * Wire.t) list;  (** branch-condition wire per deciding state *)
+  fsm : Hls_ctrl.Fsm.t;
+}
+
+val build :
+  Hls_sched.Cfg_sched.t ->
+  fu:Hls_alloc.Fu_alloc.t ->
+  regs:Hls_alloc.Reg_alloc.t ->
+  ports:(string * [ `In | `Out ] * Hls_lang.Ast.ty) list ->
+  t
+
+val reg_width : t -> string -> int
+(** Raises [Not_found] for unknown registers. *)
+
+val fu_of : t -> int -> fu_def
+
+val activities_in : t -> int -> activity list
+(** Activations of a state. *)
+
+val loads_in : t -> int -> load list
+
+val cond_wire : t -> int -> Wire.t option
+
+val stats : t -> string
+(** One-line summary: registers / units / activations. *)

@@ -1,0 +1,9 @@
+(** Structural emission of the synthesized design.
+
+    [verilog] renders a synthesizable-flavored single-module Verilog
+    description: state register, next-state case statement, register
+    loads gated by state, and one assignment per functional-unit output.
+    [dot] renders the datapath as a graph (registers, units, steering). *)
+
+val verilog : name:string -> Datapath.t -> string
+val dot : ?name:string -> Datapath.t -> string

@@ -1,0 +1,28 @@
+(** Area and timing estimation (what BUD and PLEST provided: "to make
+    realistic evaluations of design trade-offs at the algorithmic and
+    register transfer levels, it is necessary to anticipate what the
+    lower level tools will do").
+
+    Area is the sum of: bound functional units, registers, steering
+    multiplexers (per-state wire selections), and the controller
+    (minimized next-state logic at 2 gates per literal plus the state
+    register). Cycle time is the worst state's register→FU→register
+    path; latency is cycle × schedule length. *)
+
+type t = {
+  fu_area : int;
+  reg_area : int;
+  mux_area : int;
+  ctrl_area : int;
+  total_area : int;
+  cycle_ns : float;
+  compute_steps : int;  (** weighted schedule length *)
+  latency_ns : float;
+}
+
+val estimate :
+  ?style:Hls_ctrl.Encoding.style -> Datapath.t -> Hls_sched.Cfg_sched.t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_row : t -> string list
+(** [area; cycle; steps; latency] cells for report tables. *)

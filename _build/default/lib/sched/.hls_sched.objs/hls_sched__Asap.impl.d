@@ -1,0 +1,1 @@
+lib/sched/asap.ml: Array Depgraph Hashtbl Hls_cdfg Limits List Op

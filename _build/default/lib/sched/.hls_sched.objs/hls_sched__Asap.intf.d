@@ -1,0 +1,1 @@
+lib/sched/asap.mli: Depgraph Dfg Hls_cdfg Limits Schedule

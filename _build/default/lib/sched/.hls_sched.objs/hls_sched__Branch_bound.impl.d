@@ -1,0 +1,1 @@
+lib/sched/branch_bound.ml: Array Depgraph Hashtbl Hls_cdfg Limits List List_sched Op

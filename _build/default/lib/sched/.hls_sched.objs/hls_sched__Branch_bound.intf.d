@@ -1,0 +1,1 @@
+lib/sched/branch_bound.mli: Depgraph Hls_cdfg Limits Schedule

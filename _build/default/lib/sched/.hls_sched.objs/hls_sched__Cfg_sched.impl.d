@@ -1,0 +1,1 @@
+lib/sched/cfg_sched.ml: Array Cfg Dfg Format Hls_cdfg List Printf Schedule

@@ -1,0 +1,1 @@
+lib/sched/cfg_sched.mli: Cfg Dfg Format Hls_cdfg Limits Schedule

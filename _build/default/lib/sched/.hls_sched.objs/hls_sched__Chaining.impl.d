@@ -1,0 +1,1 @@
+lib/sched/chaining.ml: Array Depgraph Fun Hashtbl Hls_cdfg Limits List Op Printf String

@@ -1,0 +1,1 @@
+lib/sched/chaining.mli: Depgraph Dfg Hls_cdfg Limits Op

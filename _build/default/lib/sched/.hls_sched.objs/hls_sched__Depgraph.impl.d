@@ -1,0 +1,1 @@
+lib/sched/depgraph.ml: Array Dfg Hashtbl Hls_cdfg List Op Printf Schedule

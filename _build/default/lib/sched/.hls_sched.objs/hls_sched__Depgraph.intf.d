@@ -1,0 +1,1 @@
+lib/sched/depgraph.mli: Dfg Hls_cdfg Op Schedule

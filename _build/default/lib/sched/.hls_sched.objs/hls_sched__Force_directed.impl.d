@@ -1,0 +1,1 @@
+lib/sched/force_directed.ml: Array Depgraph List Printf

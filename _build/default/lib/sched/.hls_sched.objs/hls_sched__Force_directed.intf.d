@@ -1,0 +1,1 @@
+lib/sched/force_directed.mli: Depgraph Dfg Hls_cdfg Op Schedule

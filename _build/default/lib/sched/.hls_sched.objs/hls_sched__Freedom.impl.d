@@ -1,0 +1,1 @@
+lib/sched/freedom.ml: Array Depgraph Hashtbl Hls_cdfg List Op

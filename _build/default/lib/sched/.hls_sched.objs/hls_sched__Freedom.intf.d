@@ -1,0 +1,1 @@
+lib/sched/freedom.mli: Depgraph Hls_cdfg Schedule

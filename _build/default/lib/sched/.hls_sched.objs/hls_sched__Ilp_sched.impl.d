@@ -1,0 +1,1 @@
+lib/sched/ilp_sched.ml: Array Binprog Depgraph Hls_cdfg Hls_util Limits List Op Printf

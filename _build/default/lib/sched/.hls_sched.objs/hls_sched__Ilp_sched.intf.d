@@ -1,0 +1,1 @@
+lib/sched/ilp_sched.mli: Dfg Hls_cdfg Limits Schedule

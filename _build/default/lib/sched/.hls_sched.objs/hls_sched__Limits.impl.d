@@ -1,0 +1,1 @@
+lib/sched/limits.ml: Hls_cdfg List Op Printf String

@@ -1,0 +1,1 @@
+lib/sched/limits.mli: Hls_cdfg Op

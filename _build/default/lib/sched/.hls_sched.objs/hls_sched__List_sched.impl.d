@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Array Depgraph Limits List

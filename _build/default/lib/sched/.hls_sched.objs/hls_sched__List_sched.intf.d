@@ -1,0 +1,1 @@
+lib/sched/list_sched.mli: Depgraph Dfg Hls_cdfg Limits Schedule

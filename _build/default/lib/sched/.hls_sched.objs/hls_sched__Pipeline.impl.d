@@ -1,0 +1,1 @@
+lib/sched/pipeline.ml: Array Depgraph Hls_cdfg Limits List Op Schedule

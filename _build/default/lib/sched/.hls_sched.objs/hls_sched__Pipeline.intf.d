@@ -1,0 +1,1 @@
+lib/sched/pipeline.mli: Dfg Hls_cdfg Limits Op Schedule

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Dfg Format Hashtbl Hls_cdfg Limits List Op Printf String

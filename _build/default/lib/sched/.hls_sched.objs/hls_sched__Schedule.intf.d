@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Dfg Format Hls_cdfg Limits Op

@@ -1,0 +1,1 @@
+lib/sched/transformational.ml: Array Depgraph Hashtbl Limits List List_sched

@@ -1,0 +1,1 @@
+lib/sched/transformational.mli: Depgraph Dfg Hls_cdfg Limits Schedule

@@ -1,0 +1,42 @@
+open Hls_cdfg
+
+type t = { cfg : Cfg.t; scheds : Schedule.t array }
+
+let make cfg ~scheduler =
+  let scheds =
+    Array.init (Cfg.n_blocks cfg) (fun bid -> scheduler (Cfg.dfg cfg bid))
+  in
+  { cfg; scheds }
+
+let cfg t = t.cfg
+
+let block_schedule t bid = t.scheds.(bid)
+
+let compute_steps t =
+  List.fold_left
+    (fun acc bid ->
+      let g = Cfg.dfg t.cfg bid in
+      if Dfg.compute_ops g = [] then acc
+      else acc + (Schedule.n_steps t.scheds.(bid) * Cfg.exec_frequency t.cfg bid))
+    0 (Cfg.block_ids t.cfg)
+
+let total_states t =
+  Array.fold_left (fun acc s -> acc + Schedule.n_steps s) 0 t.scheds
+
+let verify limits t =
+  let rec check = function
+    | [] -> Ok ()
+    | bid :: rest -> (
+        match Schedule.verify limits t.scheds.(bid) with
+        | Ok () -> check rest
+        | Error e -> Error (Printf.sprintf "block %d: %s" bid e))
+  in
+  check (Cfg.block_ids t.cfg)
+
+let pp ppf t =
+  Cfg.iter
+    (fun bid b ->
+      Format.fprintf ppf "%s (%d steps):@." b.Cfg.label
+        (Schedule.n_steps t.scheds.(bid));
+      Schedule.pp ppf t.scheds.(bid))
+    t.cfg

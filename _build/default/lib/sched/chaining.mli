@@ -1,0 +1,50 @@
+(** Delay-aware scheduling with operator chaining.
+
+    The unit-delay schedulers assume one operation per control step per
+    unit. Real units have delays ("finding the most efficient possible
+    schedule for the real hardware requires knowing the delays for the
+    different operations"), and a data-dependent pair may share a
+    control step when its combined combinational delay fits the clock
+    period — while "too many operations chained together in the same
+    control step" (the YSC's concern) forces the step to split.
+
+    This scheduler is list scheduling with a per-step time budget: an
+    operation may start in its predecessor's step at the predecessor's
+    finish time if the sum stays within the period, and otherwise waits
+    for the next step. Sweeping the period traces the classic cycle-time
+    / step-count trade-off; the product (total latency in ns) has an
+    interior optimum.
+
+    Chained schedules intentionally violate the non-chaining invariant
+    of {!Schedule} (an occupying consumer in its producer's step), so
+    they carry their own representation and validity checker; like
+    {!Pipeline}, this is an analysis-level scheduler — the RTL builder
+    targets non-chained schedules. *)
+
+open Hls_cdfg
+
+type t = {
+  steps : int array;  (** control step per dependence-graph op index *)
+  ready_ns : float array;  (** intra-step completion time per op *)
+  n_steps : int;
+  period_ns : float;
+  dep : Depgraph.t;
+}
+
+val op_delay_ns : Op.fu_class -> float
+(** Combinational delay of the cheapest library unit of the class. *)
+
+val schedule : period_ns:float -> limits:Limits.t -> Dfg.t -> t
+(** Raises [Invalid_argument] if the period cannot fit even a single
+    slowest operation (plus register/mux overhead). *)
+
+val verify : ?limits:Limits.t -> t -> (unit, string) result
+(** Dependences hold (same-step consumers start after their producers
+    and fit the period; cross-step consumers are later) and per-step
+    resource limits hold (default unconstrained). *)
+
+val sweep :
+  limits:Limits.t -> periods_ns:float list -> Dfg.t ->
+  (float * int * float) list
+(** For each feasible clock period: (period, steps, latency = steps ×
+    period). Infeasible periods are skipped. *)

@@ -1,0 +1,105 @@
+
+(* Constrained ASAP/ALAP honoring already-fixed operations. *)
+let frames dep ~deadline ~fixed =
+  let n = Depgraph.n_ops dep in
+  let asap = Array.make n 1 in
+  for i = 0 to n - 1 do
+    let lo =
+      1 + List.fold_left (fun acc p -> max acc asap.(p)) 0 (Depgraph.preds dep i)
+    in
+    asap.(i) <- (match fixed.(i) with Some s -> s | None -> lo)
+  done;
+  let alap = Array.make n deadline in
+  for i = n - 1 downto 0 do
+    let hi =
+      List.fold_left (fun acc s -> min acc (alap.(s) - 1)) deadline (Depgraph.succs dep i)
+    in
+    alap.(i) <- (match fixed.(i) with Some s -> s | None -> hi)
+  done;
+  (asap, alap)
+
+let distribution dep ~asap ~alap ~cls ~deadline =
+  let dg = Array.make deadline 0.0 in
+  for i = 0 to Depgraph.n_ops dep - 1 do
+    if Depgraph.cls dep i = cls then begin
+      let width = alap.(i) - asap.(i) + 1 in
+      let p = 1.0 /. float_of_int width in
+      for s = asap.(i) to alap.(i) do
+        dg.(s - 1) <- dg.(s - 1) +. p
+      done
+    end
+  done;
+  dg
+
+let avg_over dg lo hi =
+  let sum = ref 0.0 in
+  for s = lo to hi do
+    sum := !sum +. dg.(s - 1)
+  done;
+  !sum /. float_of_int (hi - lo + 1)
+
+let schedule_dep ~deadline dep =
+  let n = Depgraph.n_ops dep in
+  let cl = Depgraph.critical_length dep in
+  if deadline < cl then
+    invalid_arg
+      (Printf.sprintf "Force_directed: deadline %d below critical path %d" deadline cl);
+  let fixed = Array.make n None in
+  let classes =
+    List.sort_uniq compare (List.init n (fun i -> Depgraph.cls dep i))
+  in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let asap, alap = frames dep ~deadline ~fixed in
+    let dgs =
+      List.map (fun c -> (c, distribution dep ~asap ~alap ~cls:c ~deadline)) classes
+    in
+    let dg_of c = List.assoc c dgs in
+    (* self force of placing op i at step s *)
+    let self_force i s =
+      let dg = dg_of (Depgraph.cls dep i) in
+      dg.(s - 1) -. avg_over dg asap.(i) alap.(i)
+    in
+    (* change in a neighbor's average distribution when its frame is
+       clipped by fixing op i at step s *)
+    let neighbor_force i s =
+      let clip j (lo, hi) =
+        let dg = dg_of (Depgraph.cls dep j) in
+        if lo > hi then 0.0 (* infeasible placements are filtered below *)
+        else avg_over dg lo hi -. avg_over dg asap.(j) alap.(j)
+      in
+      List.fold_left
+        (fun acc p -> acc +. clip p (asap.(p), min alap.(p) (s - 1)))
+        0.0 (Depgraph.preds dep i)
+      +. List.fold_left
+           (fun acc q -> acc +. clip q (max asap.(q) (s + 1), alap.(q)))
+           0.0 (Depgraph.succs dep i)
+    in
+    let best = ref None in
+    for i = 0 to n - 1 do
+      if fixed.(i) = None then
+        for s = asap.(i) to alap.(i) do
+          (* a placement must leave every neighbor a feasible frame *)
+          let feasible =
+            List.for_all (fun p -> asap.(p) <= s - 1) (Depgraph.preds dep i)
+            && List.for_all (fun q -> alap.(q) >= s + 1) (Depgraph.succs dep i)
+          in
+          if feasible then begin
+            let f = self_force i s +. neighbor_force i s in
+            match !best with
+            | Some (bf, _, _) when bf <= f -> ()
+            | _ -> best := Some (f, i, s)
+          end
+        done
+    done;
+    match !best with
+    | Some (_, i, s) ->
+        fixed.(i) <- Some s;
+        decr remaining
+    | None -> invalid_arg "Force_directed: no feasible placement (internal)"
+  done;
+  Array.map (function Some s -> s | None -> 1) fixed
+
+let schedule ~deadline g =
+  let dep = Depgraph.of_dfg g in
+  Depgraph.to_schedule dep ~steps:(schedule_dep ~deadline dep)

@@ -1,0 +1,25 @@
+(** Force-directed scheduling (Paulin & Knight's HAL; Fig 5).
+
+    Time-constrained: given a deadline, every operation's possible step
+    range (ASAP–ALAP time frame) feeds a per-class {e distribution graph}
+    — for each control step, the expected number of concurrent operations
+    assuming all schedules equally likely (an op with a k-step frame
+    contributes 1/k to each step). Operations are then fixed one at a
+    time, choosing the (op, step) pair with the lowest force — the
+    placement that best balances the distribution — and frames are
+    recomputed after each placement. The functional units required are
+    the per-class maxima of the final distribution. *)
+
+open Hls_cdfg
+
+val distribution :
+  Depgraph.t -> asap:int array -> alap:int array -> cls:Op.fu_class -> deadline:int ->
+  float array
+(** Distribution graph for one class over steps [1..deadline] (index 0 of
+    the result is step 1). This is the quantity plotted in Fig 5. *)
+
+val schedule : deadline:int -> Dfg.t -> Schedule.t
+(** Raises [Invalid_argument] if [deadline] is below the critical path
+    length. *)
+
+val schedule_dep : deadline:int -> Depgraph.t -> int array

@@ -1,0 +1,77 @@
+open Hls_cdfg
+
+let frames dep ~deadline ~fixed =
+  let n = Depgraph.n_ops dep in
+  let asap = Array.make n 1 in
+  for i = 0 to n - 1 do
+    let lo = 1 + List.fold_left (fun acc p -> max acc asap.(p)) 0 (Depgraph.preds dep i) in
+    asap.(i) <- (match fixed.(i) with Some s -> s | None -> lo)
+  done;
+  let alap = Array.make n deadline in
+  for i = n - 1 downto 0 do
+    let hi =
+      List.fold_left (fun acc s -> min acc (alap.(s) - 1)) deadline (Depgraph.succs dep i)
+    in
+    alap.(i) <- (match fixed.(i) with Some s -> s | None -> hi)
+  done;
+  (asap, alap)
+
+let schedule_dep ?deadline dep =
+  let n = Depgraph.n_ops dep in
+  let cl = max 1 (Depgraph.critical_length dep) in
+  let deadline = match deadline with Some d -> max d cl | None -> cl in
+  let fixed = Array.make n None in
+  (* usage.(cls)(s) — ops of the class already placed in step s *)
+  let usage : (Op.fu_class * int, int) Hashtbl.t = Hashtbl.create 32 in
+  let used cls s = match Hashtbl.find_opt usage (cls, s) with Some k -> k | None -> 0 in
+  let fu_count : (Op.fu_class, int) Hashtbl.t = Hashtbl.create 8 in
+  let fus cls = match Hashtbl.find_opt fu_count cls with Some k -> k | None -> 0 in
+  let place i s =
+    fixed.(i) <- Some s;
+    let cls = Depgraph.cls dep i in
+    Hashtbl.replace usage (cls, s) (used cls s + 1);
+    if used cls s > fus cls then Hashtbl.replace fu_count cls (used cls s)
+  in
+  (* schedule the critical path first: ops with zero freedom *)
+  let asap0, alap0 = frames dep ~deadline ~fixed in
+  for i = 0 to n - 1 do
+    if alap0.(i) = asap0.(i) then place i asap0.(i)
+  done;
+  let remaining () =
+    List.filter (fun i -> fixed.(i) = None) (List.init n (fun i -> i))
+  in
+  let rec loop () =
+    match remaining () with
+    | [] -> ()
+    | rem ->
+        let asap, alap = frames dep ~deadline ~fixed in
+        (* least freedom first *)
+        let i =
+          List.fold_left
+            (fun best j ->
+              let fr j = alap.(j) - asap.(j) in
+              match best with
+              | None -> Some j
+              | Some b -> if fr j < fr b then Some j else best)
+            None rem
+        in
+        let i = match i with Some i -> i | None -> assert false in
+        let cls = Depgraph.cls dep i in
+        (* best step in range: no new FU if possible, then least-used,
+           then earliest *)
+        let candidates = List.init (alap.(i) - asap.(i) + 1) (fun k -> asap.(i) + k) in
+        let cost s = if used cls s < fus cls then (0, used cls s, s) else (1, used cls s, s) in
+        let s =
+          match List.sort (fun a b -> compare (cost a) (cost b)) candidates with
+          | s :: _ -> s
+          | [] -> assert false
+        in
+        place i s;
+        loop ()
+  in
+  loop ();
+  Array.map (function Some s -> s | None -> 1) fixed
+
+let schedule ?deadline g =
+  let dep = Depgraph.of_dfg g in
+  Depgraph.to_schedule dep ~steps:(schedule_dep ?deadline dep)

@@ -1,0 +1,15 @@
+(** Scheduling as a 0/1 mathematical program (Hafer & Parker's
+    formulation, section 3.2.2 of the paper): one variable per
+    (operation, control step) assignment, exactly-one selection per
+    operation, precedence as forbidden pairs, resource limits as
+    at-most-k sums over each step. Solved exactly with the
+    {!Hls_util.Binprog} branch-and-bound; intended as the optimality
+    oracle on small blocks (the heuristic schedulers cover the rest). *)
+
+open Hls_cdfg
+
+val schedule :
+  ?node_cap:int -> limits:Limits.t -> Dfg.t -> Schedule.t option
+(** Minimum-length schedule under the limits, found by solving
+    feasibility at increasing deadlines. [None] when the block exceeds
+    [node_cap] operations (default 12). *)

@@ -1,0 +1,44 @@
+open Hls_cdfg
+
+type t = Serial | Total of int | Classes of (Op.fu_class * int) list | Unlimited
+
+let occupying_class = function
+  | Op.C_alu | Op.C_mul | Op.C_div | Op.C_shift -> true
+  | Op.C_free | Op.C_none -> false
+
+let total counts = List.fold_left (fun acc (_, n) -> acc + n) 0 counts
+
+let class_count counts cls =
+  match List.assoc_opt cls counts with Some n -> n | None -> 0
+
+let can_add t ~counts cls =
+  if not (occupying_class cls) then true
+  else
+    match t with
+    | Unlimited -> true
+    | Serial -> total counts < 1
+    | Total k -> total counts < k
+    | Classes caps -> (
+        match List.assoc_opt cls caps with
+        | None -> true
+        | Some cap -> class_count counts cls < cap)
+
+let within t ~counts =
+  match t with
+  | Unlimited -> true
+  | Serial -> total counts <= 1
+  | Total k -> total counts <= k
+  | Classes caps ->
+      List.for_all (fun (cls, cap) -> class_count counts cls <= cap) caps
+
+let to_string = function
+  | Serial -> "serial"
+  | Total k -> Printf.sprintf "%d FUs" k
+  | Unlimited -> "unlimited"
+  | Classes caps ->
+      caps
+      |> List.map (fun (cls, n) -> Printf.sprintf "%d %s" n (Op.fu_class_to_string cls))
+      |> String.concat ", "
+
+let serial = Serial
+let two_fu = Total 2

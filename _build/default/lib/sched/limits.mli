@@ -1,0 +1,34 @@
+(** Resource limits on functional units, the constraint side of
+    resource-constrained scheduling.
+
+    - [Serial] — one step-occupying operation per control step: the
+      paper's "trivial special case [that] uses just one functional unit
+      and one memory" (each operation in its own step).
+    - [Total k] — at most [k] concurrent operations per step, on [k]
+      general-purpose functional units; [Total 2] is the paper's "two
+      functional units" configuration for the optimized sqrt (free shifts
+      and zero-detects do not count).
+    - [Classes l] — at most [n] concurrent operations of each listed
+      functional-unit class (e.g. one ALU and one multiplier); unlisted
+      classes are unconstrained.
+    - [Unlimited] — no constraint (time-constrained or maximally parallel
+      scheduling). *)
+
+open Hls_cdfg
+
+type t = Serial | Total of int | Classes of (Op.fu_class * int) list | Unlimited
+
+val can_add : t -> counts:(Op.fu_class * int) list -> Op.fu_class -> bool
+(** Whether one more operation of the class fits in a step currently
+    running [counts] (per-class tallies of step-occupying operations
+    already placed there). Free and non-executing classes always fit. *)
+
+val within : t -> counts:(Op.fu_class * int) list -> bool
+(** Whether a step's tallies respect the limits. *)
+
+val to_string : t -> string
+
+val serial : t
+val two_fu : t
+(** [Serial] and [Total 2] — the two configurations of the paper's Fig 2
+    schedule-length comparison. *)

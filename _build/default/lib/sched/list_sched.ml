@@ -1,0 +1,57 @@
+
+type priority = Path_length | Urgency of int | Mobility of int | Fifo
+
+let priority_table dep prio =
+  let clamp d = max d (Depgraph.critical_length dep) in
+  match prio with
+  | Path_length -> Depgraph.path_length dep
+  | Urgency deadline ->
+      (* smaller ALAP = more urgent = higher priority; negate *)
+      Array.map (fun l -> -l) (Depgraph.alap dep ~deadline:(clamp deadline))
+  | Mobility deadline ->
+      let a = Depgraph.asap dep in
+      let l = Depgraph.alap dep ~deadline:(clamp deadline) in
+      Array.init (Array.length a) (fun i -> -(l.(i) - a.(i)))
+  | Fifo -> Array.init (Depgraph.n_ops dep) (fun i -> -i)
+
+let schedule_dep ?(priority = Path_length) ~limits dep =
+  let n = Depgraph.n_ops dep in
+  let prio = priority_table dep priority in
+  let steps = Array.make n 0 in
+  let unscheduled = ref n in
+  let step = ref 0 in
+  while !unscheduled > 0 do
+    incr step;
+    let s = !step in
+    (* ready: unscheduled ops whose predecessors all completed before s *)
+    let ready =
+      List.filter
+        (fun i ->
+          steps.(i) = 0
+          && List.for_all (fun p -> steps.(p) > 0 && steps.(p) < s) (Depgraph.preds dep i))
+        (List.init n (fun i -> i))
+    in
+    let ordered =
+      List.sort
+        (fun a b ->
+          let c = compare prio.(b) prio.(a) in
+          if c <> 0 then c else compare a b)
+        ready
+    in
+    let counts = ref [] in
+    List.iter
+      (fun i ->
+        let cls = Depgraph.cls dep i in
+        if Limits.can_add limits ~counts:!counts cls then begin
+          steps.(i) <- s;
+          decr unscheduled;
+          let cur = match List.assoc_opt cls !counts with Some n -> n | None -> 0 in
+          counts := (cls, cur + 1) :: List.remove_assoc cls !counts
+        end)
+      ordered
+  done;
+  steps
+
+let schedule ?priority ~limits g =
+  let dep = Depgraph.of_dfg g in
+  Depgraph.to_schedule dep ~steps:(schedule_dep ?priority ~limits dep)

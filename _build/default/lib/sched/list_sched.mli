@@ -1,0 +1,27 @@
+(** List scheduling (Fig 4).
+
+    Steps are filled in order; at each step the ready operations (all
+    predecessors scheduled in earlier steps) are taken from a priority
+    list and placed while resources remain; the rest are deferred. The
+    priority function is pluggable:
+
+    - [Path_length] — ops on the longest chain to the end of the block
+      (BUD's priority; the paper's Fig 4 example);
+    - [Urgency deadline] — distance to the nearest deadline, i.e. the
+      ALAP step (Elf and ISYN's priority; smaller = more urgent);
+    - [Mobility deadline] — ALAP − ASAP slack (smaller first);
+    - [Fifo] — specification order, degenerating to resource-constrained
+      ASAP (for comparison). *)
+
+open Hls_cdfg
+
+type priority =
+  | Path_length
+  | Urgency of int
+  | Mobility of int
+  | Fifo
+
+val schedule : ?priority:priority -> limits:Limits.t -> Dfg.t -> Schedule.t
+(** Default priority is [Path_length]. *)
+
+val schedule_dep : ?priority:priority -> limits:Limits.t -> Depgraph.t -> int array

@@ -1,0 +1,132 @@
+
+let counts_of dep steps s =
+  let tally = Hashtbl.create 8 in
+  Array.iteri
+    (fun i si ->
+      if si = s then begin
+        let cls = Depgraph.cls dep i in
+        let cur = try Hashtbl.find tally cls with Not_found -> 0 in
+        Hashtbl.replace tally cls (cur + 1)
+      end)
+    steps;
+  Hashtbl.fold (fun cls k acc -> (cls, k) :: acc) tally []
+
+(* remove one op's contribution from a tally *)
+let counts_without counts cls =
+  match List.assoc_opt cls counts with
+  | Some 1 -> List.remove_assoc cls counts
+  | Some k -> (cls, k - 1) :: List.remove_assoc cls counts
+  | None -> counts
+
+let from_parallel_dep ~limits dep =
+  let n = Depgraph.n_ops dep in
+  let steps = Depgraph.asap dep in
+  let prio = Depgraph.path_length dep in
+  let retighten () =
+    (* push successors down so dependences hold (ops are topological) *)
+    for i = 0 to n - 1 do
+      let lo = 1 + List.fold_left (fun acc p -> max acc steps.(p)) 0 (Depgraph.preds dep i) in
+      if steps.(i) < lo then steps.(i) <- lo
+    done
+  in
+  let find_violation () =
+    let max_step = Array.fold_left max 1 steps in
+    let rec scan s =
+      if s > max_step then None
+      else begin
+        let counts = counts_of dep steps s in
+        if Limits.within limits ~counts then scan (s + 1) else Some (s, counts)
+      end
+    in
+    scan 1
+  in
+  let fuel = ref (n * n * 4 + 64) in
+  let rec fix () =
+    decr fuel;
+    if !fuel <= 0 then ()
+    else
+      match find_violation () with
+      | None -> ()
+      | Some (s, counts) ->
+          (* displace the lowest-priority op of an over-capacity class:
+             a class is over capacity iff, with one of its ops removed,
+             adding it back still would not fit *)
+          let over_capacity cls =
+            not (Limits.can_add limits ~counts:(counts_without counts cls) cls)
+          in
+          let movable =
+            List.filter
+              (fun i -> steps.(i) = s && over_capacity (Depgraph.cls dep i))
+              (List.init n (fun i -> i))
+          in
+          let victim =
+            List.fold_left
+              (fun best i ->
+                match best with
+                | None -> Some i
+                | Some b ->
+                    if (prio.(i), -i) < (prio.(b), -b) then Some i else best)
+              None movable
+          in
+          (match victim with
+          | Some i -> steps.(i) <- s + 1
+          | None -> ());
+          retighten ();
+          fix ()
+  in
+  fix ();
+  match find_violation () with
+  | None -> steps
+  | Some _ ->
+      (* fuel exhausted on a pathological instance: fall back to a legal
+         constructive schedule *)
+      List_sched.schedule_dep ~limits dep
+
+let from_serial_dep ~limits dep =
+  let n = Depgraph.n_ops dep in
+  (* maximally serial: one op per step in topological order *)
+  let steps = Array.init n (fun i -> i + 1) in
+  let changed = ref true in
+  let fuel = ref (n * n + 64) in
+  while !changed && !fuel > 0 do
+    changed := false;
+    decr fuel;
+    for i = 0 to n - 1 do
+      let ready =
+        1 + List.fold_left (fun acc p -> max acc steps.(p)) 0 (Depgraph.preds dep i)
+      in
+      let cls = Depgraph.cls dep i in
+      (* earliest step >= ready with room, considering ops other than i *)
+      let rec try_step s =
+        if s >= steps.(i) then steps.(i)
+        else begin
+          let counts = counts_of dep steps s in
+          if Limits.can_add limits ~counts cls then s else try_step (s + 1)
+        end
+      in
+      let s = try_step ready in
+      if s < steps.(i) then begin
+        steps.(i) <- s;
+        changed := true
+      end
+    done
+  done;
+  (* compact empty steps *)
+  let max_step = Array.fold_left max 1 steps in
+  let occupied = Array.make (max_step + 1) false in
+  Array.iter (fun s -> occupied.(s) <- true) steps;
+  let shift = Array.make (max_step + 1) 0 in
+  let gap = ref 0 in
+  for s = 1 to max_step do
+    if not occupied.(s) then incr gap;
+    shift.(s) <- !gap
+  done;
+  Array.map (fun s -> s - shift.(s)) steps
+
+let from_parallel ~limits g =
+  let dep = Depgraph.of_dfg g in
+  Depgraph.to_schedule dep ~steps:(from_parallel_dep ~limits dep)
+
+let from_serial ~limits g =
+  let dep = Depgraph.of_dfg g in
+  Depgraph.to_schedule dep ~steps:(from_serial_dep ~limits dep)

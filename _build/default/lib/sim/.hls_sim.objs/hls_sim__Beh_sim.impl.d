@@ -1,0 +1,1 @@
+lib/sim/beh_sim.ml: Ast Fixedpt Hashtbl Hls_cdfg Hls_lang Hls_util List Typed

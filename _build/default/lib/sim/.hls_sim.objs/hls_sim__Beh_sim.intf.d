@@ -1,0 +1,1 @@
+lib/sim/beh_sim.mli: Ast Hls_lang Typed

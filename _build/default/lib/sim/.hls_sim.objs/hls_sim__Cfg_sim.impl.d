@@ -1,0 +1,1 @@
+lib/sim/cfg_sim.ml: Array Cfg Dfg Hashtbl Hls_cdfg List Op

@@ -1,0 +1,1 @@
+lib/sim/cfg_sim.mli: Hls_cdfg

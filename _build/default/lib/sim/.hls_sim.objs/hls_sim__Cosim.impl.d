@@ -1,0 +1,1 @@
+lib/sim/cosim.ml: Ast Beh_sim Cfg_sim Fixedpt Hls_cdfg Hls_lang Hls_rtl Hls_util List Printf Random Rtl_sim String Typed

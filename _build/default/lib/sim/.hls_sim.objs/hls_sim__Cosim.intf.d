@@ -1,0 +1,1 @@
+lib/sim/cosim.mli: Hls_cdfg Hls_lang Hls_rtl Typed

@@ -1,0 +1,1 @@
+lib/sim/rtl_sim.ml: Datapath Hashtbl Hls_cdfg Hls_ctrl Hls_rtl List Printf Wire

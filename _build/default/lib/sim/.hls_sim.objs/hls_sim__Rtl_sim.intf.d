@@ -1,0 +1,1 @@
+lib/sim/rtl_sim.mli: Hls_ctrl Hls_rtl

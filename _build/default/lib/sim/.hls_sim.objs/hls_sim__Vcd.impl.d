@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Buffer Bytes Char Datapath Hashtbl Hls_ctrl Hls_rtl List Printf Rtl_sim String

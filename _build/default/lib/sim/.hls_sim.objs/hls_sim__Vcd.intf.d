@@ -1,0 +1,1 @@
+lib/sim/vcd.mli: Hls_rtl Rtl_sim

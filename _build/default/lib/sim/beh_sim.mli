@@ -1,0 +1,24 @@
+(** Reference interpreter for the behavioral specification (typed AST).
+
+    Values are raw bit patterns with the bit-exact fixed-point semantics
+    of {!Hls_cdfg.Op.eval}, so results are directly comparable with the
+    CDFG interpreter and the RTL simulator — the basis of the
+    verification experiment ("the proof that a detailed design implements
+    the exact design stated in the specification"). *)
+
+open Hls_lang
+
+exception Sim_error of string
+
+val run :
+  ?fuel:int -> Typed.tprogram -> inputs:(string * int) list -> (string * int) list
+(** Execute with the given raw input-port patterns (missing inputs read
+    0); returns every port and variable with its final pattern. [fuel]
+    bounds loop iterations (default 1_000_000); exceeding it raises
+    {!Sim_error}, as does division by zero. *)
+
+val output_ports : Typed.tprogram -> (string * Ast.ty) list
+
+val to_raw : Ast.ty -> float -> int
+val of_raw : Ast.ty -> int -> float
+(** Convenience conversions for tests and examples. *)

@@ -1,0 +1,48 @@
+open Hls_cdfg
+
+exception Sim_error of string
+
+let trace ?(fuel = 1_000_000) cfg ~inputs =
+  let store : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (v, raw) -> Hashtbl.replace store v raw) inputs;
+  let read_var v = match Hashtbl.find_opt store v with Some x -> x | None -> 0 in
+  let fuel = ref fuel in
+  let visited = ref [] in
+  let rec exec_block bid =
+    decr fuel;
+    if !fuel < 0 then raise (Sim_error "out of fuel (possible non-terminating loop)");
+    visited := bid :: !visited;
+    let g = Cfg.dfg cfg bid in
+    let n = Dfg.n_nodes g in
+    let values = Array.make n 0 in
+    let pending_writes = ref [] in
+    Dfg.iter
+      (fun id node ->
+        let argv = List.map (fun a -> values.(a)) node.Dfg.args in
+        match node.Dfg.op with
+        | Op.Read v -> values.(id) <- read_var v
+        | Op.Write v ->
+            (match argv with
+            | [ x ] -> pending_writes := (v, x, node.Dfg.ty) :: !pending_writes
+            | _ -> raise (Sim_error "malformed write"));
+            values.(id) <- (match argv with x :: _ -> x | [] -> 0)
+        | op -> (
+            try values.(id) <- Op.eval node.Dfg.ty op argv
+            with Division_by_zero -> raise (Sim_error "division by zero")))
+      g;
+    (* commit writes at block exit; later writes win *)
+    List.iter
+      (fun (v, x, ty) ->
+        ignore ty;
+        Hashtbl.replace store v x)
+      (List.rev !pending_writes);
+    match Cfg.term cfg bid with
+    | Cfg.Goto next -> exec_block next
+    | Cfg.Branch (c, bt, bf) -> exec_block (if values.(c) <> 0 then bt else bf)
+    | Cfg.Halt -> ()
+  in
+  exec_block (Cfg.entry cfg);
+  let finals = Hashtbl.fold (fun v x acc -> (v, x) :: acc) store [] |> List.sort compare in
+  (finals, List.rev !visited)
+
+let run ?fuel cfg ~inputs = fst (trace ?fuel cfg ~inputs)

@@ -1,0 +1,16 @@
+(** Interpreter for the compiled CDFG: executes blocks (data-flow values
+    in node order, variable writes committed at block exit) and follows
+    terminators. Bit-identical to {!Beh_sim} on compiled programs — the
+    oracle that validates compilation and every optimization pass. *)
+
+exception Sim_error of string
+
+val run :
+  ?fuel:int -> Hls_cdfg.Cfg.t -> inputs:(string * int) list -> (string * int) list
+(** Returns every variable with its final pattern, sorted. [fuel] bounds
+    executed blocks (default 1_000_000). *)
+
+val trace :
+  ?fuel:int -> Hls_cdfg.Cfg.t -> inputs:(string * int) list ->
+  (string * int) list * Hls_cdfg.Cfg.bid list
+(** Like {!run}, also returning the block execution sequence. *)

@@ -1,0 +1,71 @@
+open Hls_util
+open Hls_lang
+
+type design = {
+  d_prog : Typed.tprogram;
+  d_cfg : Hls_cdfg.Cfg.t;
+  d_datapath : Hls_rtl.Datapath.t;
+}
+
+let fmt_of_ty (ty : Ast.ty) =
+  match ty with
+  | Ast.Tbool -> Fixedpt.format ~int_bits:1 ~frac_bits:0
+  | Ast.Tint w -> Fixedpt.format ~int_bits:w ~frac_bits:0
+  | Ast.Tfix (i, f) -> Fixedpt.format ~int_bits:i ~frac_bits:f
+
+let check ?(gate_level_control = false) d ~inputs =
+  let outputs = Beh_sim.output_ports d.d_prog in
+  let beh = Beh_sim.run d.d_prog ~inputs in
+  let cfg_out = Cfg_sim.run d.d_cfg ~inputs in
+  let rtl = Rtl_sim.run ~gate_level_control d.d_datapath ~inputs in
+  let lookup who l name =
+    match List.assoc_opt name l with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%s: output %s missing" who name)
+  in
+  let rec compare_ports = function
+    | [] -> Ok rtl.Rtl_sim.cycles
+    | (name, ty) :: rest -> (
+        ignore ty;
+        match (lookup "behavioral" beh name, lookup "cdfg" cfg_out name, lookup "rtl" rtl.Rtl_sim.finals name) with
+        | Ok a, Ok b, Ok c ->
+            if a = b && b = c then compare_ports rest
+            else
+              Error
+                (Printf.sprintf "output %s disagrees: behavioral=%d cdfg=%d rtl=%d" name a
+                   b c)
+        | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+  in
+  compare_ports outputs
+
+let check_random ?(runs = 20) ?(seed = 42) ?gate_level_control d =
+  let rng = Random.State.make [| seed |] in
+  let input_ports =
+    List.filter_map
+      (fun (p : Ast.port) ->
+        if p.Ast.pdir = Ast.Input then Some (p.Ast.pname, p.Ast.pty) else None)
+      d.d_prog.Typed.tports
+  in
+  let random_value ty =
+    let fmt = fmt_of_ty ty in
+    let bits = Fixedpt.bits fmt in
+    (* positive patterns; divisions in the specs stay well-defined and
+       fixed-point quotients stay in range *)
+    let magnitude = max 1 (min (bits - 1) 16) in
+    1 + Random.State.int rng ((1 lsl magnitude) - 1)
+  in
+  let rec go i =
+    if i >= runs then Ok ()
+    else begin
+      let inputs = List.map (fun (name, ty) -> (name, random_value ty)) input_ports in
+      match check ?gate_level_control d ~inputs with
+      | Ok _ -> go (i + 1)
+      | Error e ->
+          Error
+            (Printf.sprintf "run %d (inputs %s): %s" i
+               (String.concat ", "
+                  (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) inputs))
+               e)
+    end
+  in
+  go 0

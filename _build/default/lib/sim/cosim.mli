@@ -1,0 +1,31 @@
+(** Co-simulation: the design-verification experiment. Runs the
+    behavioral interpreter, the CDFG interpreter, and the RTL simulator
+    on the same inputs and demands bit-identical output-port values —
+    evidence that compilation, every optimization pass, scheduling,
+    allocation and controller synthesis preserved the specified
+    behavior. *)
+
+open Hls_lang
+
+type design = {
+  d_prog : Typed.tprogram;
+  d_cfg : Hls_cdfg.Cfg.t;
+  d_datapath : Hls_rtl.Datapath.t;
+}
+
+val check :
+  ?gate_level_control:bool ->
+  design ->
+  inputs:(string * int) list ->
+  (int, string) result
+(** [Ok cycles] when all three levels agree on every output port (the
+    payload is the RTL cycle count); otherwise a diagnostic naming the
+    first mismatching port and the three values. *)
+
+val check_random :
+  ?runs:int ->
+  ?seed:int ->
+  ?gate_level_control:bool ->
+  design ->
+  (unit, string) result
+(** {!check} on pseudo-random input vectors (default 20 runs). *)

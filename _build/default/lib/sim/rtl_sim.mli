@@ -1,0 +1,30 @@
+(** Cycle-accurate simulation of the synthesized RTL: state register,
+    functional-unit activations, register loads and branch decisions,
+    exactly as the datapath + controller would execute in hardware.
+
+    With [~gate_level_control:true] the next state is computed by
+    evaluating the synthesized (Quine–McCluskey-minimized) next-state
+    logic instead of the abstract FSM — demonstrating that controller
+    synthesis preserved behavior. *)
+
+exception Sim_error of string
+
+type result = {
+  finals : (string * int) list;  (** register name → final pattern *)
+  cycles : int;  (** clock cycles until DONE *)
+}
+
+val run :
+  ?fuel:int ->
+  ?gate_level_control:bool ->
+  ?encoding:Hls_ctrl.Encoding.style ->
+  ?on_cycle:(cycle:int -> state:int -> regs:(string * int) list -> unit) ->
+  Hls_rtl.Datapath.t ->
+  inputs:(string * int) list ->
+  result
+(** [inputs] preload the named registers (input ports). [fuel] bounds the
+    cycle count (default 1_000_000). [encoding] selects the state
+    encoding when [gate_level_control] is on (default binary).
+    [on_cycle] observes every clock edge: the cycle number, the state
+    entered, and the post-edge register values (sorted) — the hook used
+    by {!Vcd} waveform dumping. *)

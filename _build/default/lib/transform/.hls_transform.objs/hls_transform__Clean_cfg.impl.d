@@ -1,0 +1,1 @@
+lib/transform/clean_cfg.ml: Array Cfg Dfg Graph_algo Hashtbl Hls_cdfg List Op Rewrite

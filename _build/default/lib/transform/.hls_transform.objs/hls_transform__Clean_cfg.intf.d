@@ -1,0 +1,1 @@
+lib/transform/clean_cfg.mli: Hls_cdfg

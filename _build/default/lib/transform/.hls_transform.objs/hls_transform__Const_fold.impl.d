@@ -1,0 +1,1 @@
+lib/transform/const_fold.ml: Cfg Dfg Fixedpt Hashtbl Hls_cdfg Hls_lang Hls_util List Op Printf Rewrite

@@ -1,0 +1,1 @@
+lib/transform/const_fold.mli: Hls_cdfg

@@ -1,0 +1,1 @@
+lib/transform/cse.ml: Dfg Hashtbl Hls_cdfg Hls_lang List Op Printf Rewrite String

@@ -1,0 +1,1 @@
+lib/transform/dead_code.ml: Array Cfg Dfg Hashtbl Hls_cdfg List Liveness Rewrite

@@ -1,0 +1,1 @@
+lib/transform/dead_code.mli: Hls_cdfg

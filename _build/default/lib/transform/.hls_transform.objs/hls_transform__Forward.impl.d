@@ -1,0 +1,1 @@
+lib/transform/forward.ml: Dfg Hashtbl Hls_cdfg Op Rewrite

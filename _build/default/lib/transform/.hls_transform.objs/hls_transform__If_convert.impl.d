@@ -1,0 +1,1 @@
+lib/transform/if_convert.ml: Array Cfg Clean_cfg Dfg Fun Hashtbl Hls_cdfg List Op

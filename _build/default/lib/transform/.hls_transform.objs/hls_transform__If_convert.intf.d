@@ -1,0 +1,1 @@
+lib/transform/if_convert.mli: Hls_cdfg

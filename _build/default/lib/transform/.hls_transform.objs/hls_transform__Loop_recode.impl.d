@@ -1,0 +1,1 @@
+lib/transform/loop_recode.ml: Array Cfg Dfg Graph_algo Hls_cdfg Hls_lang List Op Rewrite

@@ -1,0 +1,1 @@
+lib/transform/loop_recode.mli: Hls_cdfg

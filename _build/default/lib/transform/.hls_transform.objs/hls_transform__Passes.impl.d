@@ -1,0 +1,1 @@
+lib/transform/passes.ml: Cfg Clean_cfg Const_fold Cse Dead_code Forward Hls_cdfg If_convert List Loop_recode Strength Tree_height Unroll

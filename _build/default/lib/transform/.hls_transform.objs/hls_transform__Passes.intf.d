@@ -1,0 +1,1 @@
+lib/transform/passes.mli: Cfg Hls_cdfg

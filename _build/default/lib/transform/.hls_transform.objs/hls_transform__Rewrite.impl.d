@@ -1,0 +1,1 @@
+lib/transform/rewrite.ml: Array Cfg Dfg Hls_cdfg List Op Printf

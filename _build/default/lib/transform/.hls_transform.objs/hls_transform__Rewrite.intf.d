@@ -1,0 +1,1 @@
+lib/transform/rewrite.mli: Cfg Dfg Hls_cdfg

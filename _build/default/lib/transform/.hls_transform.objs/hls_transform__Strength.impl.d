@@ -1,0 +1,1 @@
+lib/transform/strength.ml: Dfg Fixedpt Hls_cdfg Hls_lang Hls_util Op Rewrite

@@ -1,0 +1,1 @@
+lib/transform/strength.mli: Hls_cdfg

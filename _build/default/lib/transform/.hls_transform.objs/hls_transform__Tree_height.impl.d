@@ -1,0 +1,1 @@
+lib/transform/tree_height.ml: Array Cfg Dfg Hls_cdfg Hls_lang List Op Rewrite

@@ -1,0 +1,1 @@
+lib/transform/tree_height.mli: Hls_cdfg

@@ -1,0 +1,1 @@
+lib/transform/unroll.ml: Array Cfg Clean_cfg Dfg Graph_algo Hashtbl Hls_cdfg List Printf

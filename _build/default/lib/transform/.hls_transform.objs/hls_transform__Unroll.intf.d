@@ -1,0 +1,1 @@
+lib/transform/unroll.mli: Hls_cdfg

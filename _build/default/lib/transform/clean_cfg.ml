@@ -1,0 +1,105 @@
+open Hls_cdfg
+
+let copy_dfg g =
+  let out, _ = Rewrite.rewrite_dfg g ~rule:(fun ~out:_ ~remap:_ _ _ ~mapped_args:_ -> Rewrite.Copy) in
+  out
+
+let succs_table cfg = Array.init (Cfg.n_blocks cfg) (fun bid -> Cfg.succs cfg bid)
+
+let prune cfg =
+  let n = Cfg.n_blocks cfg in
+  let reach = Graph_algo.reachable ~succs:(succs_table cfg) ~entry:(Cfg.entry cfg) in
+  let all_reachable = Array.for_all (fun r -> r) reach in
+  if all_reachable then (cfg, false)
+  else begin
+    let remap = Array.make n (-1) in
+    let out = Cfg.create () in
+    for bid = 0 to n - 1 do
+      if reach.(bid) then begin
+        let b = Cfg.block cfg bid in
+        remap.(bid) <- Cfg.add_block out ~label:b.Cfg.label b.Cfg.dfg b.Cfg.term
+      end
+    done;
+    (* second pass: remap terminator targets *)
+    for bid = 0 to n - 1 do
+      if reach.(bid) then begin
+        let new_term =
+          match Cfg.term cfg bid with
+          | Cfg.Goto t -> Cfg.Goto remap.(t)
+          | Cfg.Branch (c, bt, bf) -> Cfg.Branch (c, remap.(bt), remap.(bf))
+          | Cfg.Halt -> Cfg.Halt
+        in
+        Cfg.set_term out remap.(bid) new_term;
+        match Cfg.trip_count cfg bid with
+        | Some t -> Cfg.set_trip_count out remap.(bid) t
+        | None -> ()
+      end
+    done;
+    Cfg.set_entry out remap.(Cfg.entry cfg);
+    Cfg.validate out;
+    (out, true)
+  end
+
+(* Append block [b_src]'s dfg onto [a_dfg] (mutating a fresh copy), with
+   reads of variables already written in [a] forwarded to the written
+   value. Returns the combined graph and the remap of [b]'s node ids. *)
+let concat_dfgs a_dfg b_dfg =
+  let out = copy_dfg a_dfg in
+  (* last written value per variable within a *)
+  let written = Hashtbl.create 8 in
+  List.iter
+    (fun (v, wnid) ->
+      match Dfg.args out wnid with
+      | [ value ] -> Hashtbl.replace written v value
+      | _ -> ())
+    (Dfg.writes out);
+  let n = Dfg.n_nodes b_dfg in
+  let remap = Array.make n (-1) in
+  Dfg.iter
+    (fun id node ->
+      let mapped = List.map (fun x -> remap.(x)) node.Dfg.args in
+      match node.Dfg.op with
+      | Op.Read v when Hashtbl.mem written v -> remap.(id) <- Hashtbl.find written v
+      | _ -> remap.(id) <- Dfg.add out node.Dfg.op mapped node.Dfg.ty)
+    b_dfg;
+  (out, remap)
+
+let find_mergeable cfg =
+  let succs = succs_table cfg in
+  let preds = Graph_algo.preds succs in
+  let entry = Cfg.entry cfg in
+  let rec search bid =
+    if bid >= Cfg.n_blocks cfg then None
+    else
+      match Cfg.term cfg bid with
+      | Cfg.Goto target
+        when target <> bid && target <> entry && preds.(target) = [ bid ] ->
+          Some (bid, target)
+      | _ -> search (bid + 1)
+  in
+  search 0
+
+let merge_once cfg =
+  match find_mergeable cfg with
+  | None -> false
+  | Some (a, b) ->
+      let combined, remap = concat_dfgs (Cfg.dfg cfg a) (Cfg.dfg cfg b) in
+      let term =
+        match Cfg.term cfg b with
+        | Cfg.Branch (c, bt, bf) -> Cfg.Branch (remap.(c), bt, bf)
+        | (Cfg.Goto _ | Cfg.Halt) as t -> t
+      in
+      Cfg.replace_dfg cfg a combined term;
+      (* b keeps its old term but is now unreachable; prune removes it *)
+      true
+
+let merge cfg =
+  let changed = ref false in
+  while merge_once cfg do
+    changed := true
+  done;
+  if !changed then begin
+    let out, _ = prune cfg in
+    (out, true)
+  end
+  else (cfg, false)

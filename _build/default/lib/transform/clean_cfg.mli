@@ -1,0 +1,20 @@
+(** Control-flow-graph cleanup.
+
+    [prune] drops blocks unreachable from the entry (e.g. branches folded
+    to constants, loop bodies replaced by unrolled copies) and renumbers
+    the rest. [merge] fuses straight-line [Goto] chains — a block whose
+    only successor has no other predecessor — so that unrolled loop
+    iterations become one long basic block that schedulers can pack
+    ("the control graph can be packed into control steps as tightly as
+    possible"). *)
+
+val prune : Hls_cdfg.Cfg.t -> Hls_cdfg.Cfg.t * bool
+(** Remove unreachable blocks. The boolean reports whether anything was
+    removed. Entry, terminators and trip counts are renumbered. *)
+
+val merge : Hls_cdfg.Cfg.t -> Hls_cdfg.Cfg.t * bool
+(** Merge single-pred/single-succ [Goto] chains, then prune. Reads in a
+    merged-in block are forwarded from the preceding writes. *)
+
+val copy_dfg : Hls_cdfg.Dfg.t -> Hls_cdfg.Dfg.t
+(** Structural copy (identical ids). *)

@@ -1,0 +1,12 @@
+(** Constant folding, constant propagation and algebraic simplification.
+
+    Within each block: operations whose inputs are all constants are
+    evaluated at compile time (bit-exactly, via {!Hls_cdfg.Op.eval});
+    algebraic identities ([x+0], [x*1], [x*0], [x-x], [x xor x], double
+    negation, constant-condition muxes, shift by zero) are simplified; and
+    identical constants are merged. A branch whose condition folds to a
+    constant becomes an unconditional jump, exposing unreachable blocks to
+    {!Clean_cfg}. *)
+
+val run : Hls_cdfg.Cfg.t -> bool
+(** Returns true if anything changed. *)

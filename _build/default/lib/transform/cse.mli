@@ -1,0 +1,9 @@
+(** Common subexpression elimination (within a block).
+
+    Two nodes with the same operator, argument values and type compute the
+    same value; the later one is replaced by the earlier. [Read]s of the
+    same variable unify (the compiler already guarantees this for a single
+    block, but block merging can reintroduce duplicates); [Write]s never
+    unify. *)
+
+val run : Hls_cdfg.Cfg.t -> bool

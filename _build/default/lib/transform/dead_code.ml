@@ -1,0 +1,33 @@
+open Hls_cdfg
+
+let run ~outputs cfg =
+  let live = Liveness.analyze ~live_at_exit:outputs cfg in
+  let changed = ref false in
+  List.iter
+    (fun bid ->
+      let g = Cfg.dfg cfg bid in
+      let n = Dfg.n_nodes g in
+      let live_out = Liveness.live_out live bid in
+      (* last write per variable *)
+      let last_write = Hashtbl.create 8 in
+      List.iter (fun (v, nid) -> Hashtbl.replace last_write v nid) (Dfg.writes g);
+      let keep = Array.make n false in
+      let rec mark nid =
+        if not keep.(nid) then begin
+          keep.(nid) <- true;
+          List.iter mark (Dfg.args g nid)
+        end
+      in
+      (match Cfg.term cfg bid with
+      | Cfg.Branch (cond, _, _) -> mark cond
+      | Cfg.Goto _ | Cfg.Halt -> ());
+      Hashtbl.iter
+        (fun v nid -> if List.mem v live_out then mark nid)
+        last_write;
+      let rule : Rewrite.rule =
+       fun ~out:_ ~remap:_ id _node ~mapped_args:_ ->
+        if keep.(id) then Rewrite.Copy else Rewrite.Drop
+      in
+      if Rewrite.rewrite_block cfg bid ~rule then changed := true)
+    (Cfg.block_ids cfg);
+  !changed

@@ -1,0 +1,11 @@
+(** Dead-code elimination.
+
+    Roots are the block's branch condition, writes to variables live at
+    block exit (per {!Hls_cdfg.Liveness}), and — for each variable — only
+    the {e last} write in the block (earlier writes are unobservable).
+    Everything not reachable backwards from a root is removed. This is the
+    pass that realizes the paper's "ability to reassign variables": dead
+    intermediate writes disappear, leaving pure value arcs. *)
+
+val run : outputs:string list -> Hls_cdfg.Cfg.t -> bool
+(** [outputs] are the variables (output ports) live after [Halt]. *)

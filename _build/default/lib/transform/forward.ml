@@ -1,0 +1,16 @@
+open Hls_cdfg
+
+let make_rule () : Rewrite.rule =
+  let written : (string, Dfg.nid) Hashtbl.t = Hashtbl.create 8 in
+  fun ~out:_ ~remap:_ _id node ~mapped_args ->
+    match (node.Dfg.op, mapped_args) with
+    | Op.Write v, [ value ] ->
+        Hashtbl.replace written v value;
+        Rewrite.Copy
+    | Op.Read v, [] -> (
+        match Hashtbl.find_opt written v with
+        | Some value -> Rewrite.Subst value
+        | None -> Rewrite.Copy)
+    | _ -> Rewrite.Copy
+
+let run cfg = Rewrite.rewrite_all cfg ~rule:(fun _bid -> make_rule ())

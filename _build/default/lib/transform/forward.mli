@@ -1,0 +1,8 @@
+(** Storage forwarding: a [Read v] that follows a [Write v] in the same
+    block is replaced by the written value. Blocks produced directly by
+    compilation never contain this pattern, but block merging
+    ({!Merge_blocks}) and loop unrolling ({!Unroll}) do — forwarding is
+    what turns the concatenated copies back into one long dependence
+    chain through values instead of through registers. *)
+
+val run : Hls_cdfg.Cfg.t -> bool

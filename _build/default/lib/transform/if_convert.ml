@@ -1,0 +1,165 @@
+open Hls_cdfg
+
+let succs_table cfg = Array.init (Cfg.n_blocks cfg) (fun bid -> Cfg.succs cfg bid)
+
+let arm_safe g max_arm_ops =
+  let ops = Dfg.compute_ops g in
+  List.length ops <= max_arm_ops
+  && Dfg.fold
+       (fun acc _ n ->
+         acc && match n.Dfg.op with Op.Div | Op.Mod -> false | _ -> true)
+       true g
+
+(* A convertible diamond rooted at [c]: returns (then-block option,
+   else-block option, join). [None] for an arm means the branch edge goes
+   straight to the join. *)
+let match_diamond cfg preds c =
+  match Cfg.term cfg c with
+  | Cfg.Branch (_, bt, bf) when bt <> bf ->
+      let arm b join_candidate =
+        (* an arm is a single block with only [c] as predecessor, falling
+           through to the join *)
+        if b = join_candidate then Some None
+        else if preds.(b) = [ c ] then
+          match Cfg.term cfg b with
+          | Cfg.Goto j when j = join_candidate -> Some (Some b)
+          | _ -> None
+        else None
+      in
+      let join_of b = match Cfg.term cfg b with Cfg.Goto j -> Some j | _ -> None in
+      (* candidate joins: successor of whichever side is a real arm *)
+      let candidates =
+        List.filter_map Fun.id
+          [ join_of bt; join_of bf; Some bf; Some bt ]
+        |> List.sort_uniq compare
+      in
+      List.find_map
+        (fun j ->
+          if j = c then None
+          else
+            match (arm bt j, arm bf j) with
+            | Some t, Some f when (t <> None || f <> None) -> Some (t, f, j)
+            | _ -> None)
+        candidates
+  | _ -> None
+
+(* value of variable [v] at the end of the (copied) conditional block:
+   its last write's argument, or a (possibly fresh) read *)
+let value_at_end out env_reads v ty =
+  let last_write =
+    List.fold_left
+      (fun acc (wv, wnid) -> if wv = v then Some wnid else acc)
+      None (Dfg.writes out)
+  in
+  match last_write with
+  | Some wnid -> (
+      match Dfg.args out wnid with [ a ] -> a | _ -> invalid_arg "If_convert: bad write")
+  | None -> (
+      match Hashtbl.find_opt env_reads v with
+      | Some nid -> nid
+      | None ->
+          let nid = Dfg.add out (Op.Read v) [] ty in
+          Hashtbl.add env_reads v nid;
+          nid)
+
+(* inline one arm into [out]; returns the variable writes it performs *)
+let inline_arm out env_reads arm_g =
+  let n = Dfg.n_nodes arm_g in
+  let remap = Array.make n (-1) in
+  let writes = ref [] in
+  Dfg.iter
+    (fun id node ->
+      let mapped = List.map (fun a -> remap.(a)) node.Dfg.args in
+      match node.Dfg.op with
+      | Op.Read v -> remap.(id) <- value_at_end out env_reads v node.Dfg.ty
+      | Op.Write v ->
+          (match mapped with
+          | [ a ] -> writes := (v, a, node.Dfg.ty) :: !writes
+          | _ -> invalid_arg "If_convert: bad write");
+          remap.(id) <- -1
+      | op -> remap.(id) <- Dfg.add out op mapped node.Dfg.ty)
+    arm_g;
+  List.rev !writes
+
+let convert_one cfg ~max_arm_ops =
+  let preds = Hls_cdfg.Graph_algo.preds (succs_table cfg) in
+  let candidate =
+    List.find_map
+      (fun c ->
+        match match_diamond cfg preds c with
+        | Some (t, f, j) ->
+            let ok arm =
+              match arm with
+              | None -> true
+              | Some b -> arm_safe (Cfg.dfg cfg b) max_arm_ops
+            in
+            if ok t && ok f then Some (c, t, f, j) else None
+        | None -> None)
+      (Cfg.block_ids cfg)
+  in
+  match candidate with
+  | None -> false
+  | Some (c, t, f, j) ->
+      let cond =
+        match Cfg.term cfg c with
+        | Cfg.Branch (cond, _, _) -> cond
+        | _ -> invalid_arg "If_convert: lost branch"
+      in
+      let out = Clean_cfg.copy_dfg (Cfg.dfg cfg c) in
+      (* reads already present in the conditional block *)
+      let env_reads = Hashtbl.create 8 in
+      List.iter (fun (v, nid) -> Hashtbl.replace env_reads v nid) (Dfg.reads out);
+      (* fall-through values before either arm runs *)
+      let base_value v ty = value_at_end out env_reads v ty in
+      let then_writes =
+        match t with None -> [] | Some b -> inline_arm out env_reads (Cfg.dfg cfg b)
+      in
+      let else_writes =
+        match f with None -> [] | Some b -> inline_arm out env_reads (Cfg.dfg cfg b)
+      in
+      (* IMPORTANT: arms were inlined sequentially, so the else arm must
+         not observe then-arm writes. It cannot: then-arm writes were not
+         materialized as Write nodes, and [value_at_end] only sees writes
+         present in [out] — the conditional block's own. *)
+      let vars =
+        List.sort_uniq compare
+          (List.map (fun (v, _, _) -> v) then_writes
+          @ List.map (fun (v, _, _) -> v) else_writes)
+      in
+      List.iter
+        (fun v ->
+          let ty =
+            match
+              List.find_opt (fun (v', _, _) -> v' = v) (then_writes @ else_writes)
+            with
+            | Some (_, _, ty) -> ty
+            | None -> invalid_arg "If_convert: variable without type"
+          in
+          let tv =
+            match List.find_opt (fun (v', _, _) -> v' = v) then_writes with
+            | Some (_, a, _) -> a
+            | None -> base_value v ty
+          in
+          let fv =
+            match List.find_opt (fun (v', _, _) -> v' = v) else_writes with
+            | Some (_, a, _) -> a
+            | None -> base_value v ty
+          in
+          let value = if tv = fv then tv else Dfg.add out Op.Mux [ cond; tv; fv ] ty in
+          ignore (Dfg.add out (Op.Write v) [ value ] ty))
+        vars;
+      Cfg.replace_dfg cfg c out (Cfg.Goto j);
+      true
+
+let run ?(max_arm_ops = 8) cfg =
+  let changed = ref false in
+  let fuel = ref (Cfg.n_blocks cfg + 4) in
+  while convert_one cfg ~max_arm_ops && !fuel > 0 do
+    changed := true;
+    decr fuel
+  done;
+  if !changed then begin
+    let out, _ = Clean_cfg.prune cfg in
+    (out, true)
+  end
+  else (cfg, false)

@@ -1,0 +1,18 @@
+(** If-conversion: turn small branch diamonds into straight-line code
+    with value-steering muxes, so the scheduler sees one bigger block
+    (the mux itself is free interconnect, not a functional unit).
+
+    A diamond is convertible when both arms are single blocks that fall
+    through to the same join, and speculation is safe: neither arm may
+    contain an operation that can trap (division/modulo). Both arms'
+    computations then execute unconditionally; each variable written by
+    either arm receives [mux(cond, then-value, else-value)].
+
+    This trades operations for control steps — the "trading off
+    complexity between the control and the data paths" the paper lists
+    among the open system-level issues. *)
+
+val run : ?max_arm_ops:int -> Hls_cdfg.Cfg.t -> Hls_cdfg.Cfg.t * bool
+(** Convert every eligible diamond with at most [max_arm_ops]
+    step-occupying operations per arm (default 8). Returns the pruned
+    CFG. *)

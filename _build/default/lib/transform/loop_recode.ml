@@ -1,0 +1,152 @@
+open Hls_cdfg
+
+let log2_exact v =
+  if v <= 0 then None
+  else begin
+    let rec loop m p = if p = v then Some m else if p > v then None else loop (m + 1) (p * 2) in
+    loop 0 1
+  end
+
+let succs_table cfg = Array.init (Cfg.n_blocks cfg) (fun bid -> Cfg.succs cfg bid)
+
+(* In block [m], match: cond = Cmp(_, inc, const) / Cmp(_, const, inc),
+   inc = Incr(Read v) or Add(Read v, Const 1), Write v of inc. *)
+let match_counter g cond_id =
+  let const_arg nid = match Dfg.op g nid with Op.Const v -> Some v | _ -> None in
+  let inc_candidate =
+    match Dfg.node g cond_id with
+    | { Dfg.op = Op.Cmp _; args = [ a; b ]; _ } -> (
+        match (const_arg a, const_arg b) with
+        | None, Some _ -> Some a
+        | Some _, None -> Some b
+        | _ -> None)
+    | _ -> None
+  in
+  match inc_candidate with
+  | None -> None
+  | Some inc_id -> (
+      let read_of nid =
+        match Dfg.node g nid with
+        | { Dfg.op = Op.Read v; _ } -> Some (v, nid)
+        | _ -> None
+      in
+      let read_info =
+        match Dfg.node g inc_id with
+        | { Dfg.op = Op.Incr; args = [ r ]; _ } -> read_of r
+        | { Dfg.op = Op.Add; args = [ r; c ]; _ } when const_arg c = Some 1 -> read_of r
+        | { Dfg.op = Op.Add; args = [ c; r ]; _ } when const_arg c = Some 1 -> read_of r
+        | _ -> None
+      in
+      match read_info with
+      | None -> None
+      | Some (v, read_id) -> (
+          let write =
+            List.find_opt
+              (fun (wv, wnid) -> wv = v && Dfg.args g wnid = [ inc_id ])
+              (Dfg.writes g)
+          in
+          match write with
+          | Some (_, write_id) -> Some (v, read_id, inc_id, write_id)
+          | None -> None))
+
+(* Find the single initialization write of [v] outside the loop; it must
+   write constant 0, and [v] must be untouched everywhere else. *)
+let find_init cfg ~members v ~tail =
+  let candidates =
+    List.concat_map
+      (fun bid ->
+        let g = Cfg.dfg cfg bid in
+        let reads = List.filter (fun (rv, _) -> rv = v) (Dfg.reads g) in
+        let writes = List.filter (fun (wv, _) -> wv = v) (Dfg.writes g) in
+        if bid = tail then []
+        else if List.mem bid members then
+          if reads = [] && writes = [] then [] else [ `Disqualify ]
+        else if reads <> [] then [ `Disqualify ]
+        else
+          List.map
+            (fun (_, wnid) ->
+              match Dfg.args g wnid with
+              | [ arg ] -> (
+                  match Dfg.op g arg with
+                  | Op.Const 0 -> `Init (bid, wnid)
+                  | _ -> `Disqualify)
+              | _ -> `Disqualify)
+            writes)
+      (Cfg.block_ids cfg)
+  in
+  match candidates with [ `Init info ] -> Some info | _ -> None
+
+let recode_one cfg ~header ~members ~trips ~protected =
+  match log2_exact trips with
+  | None | Some 0 -> false
+  | Some bits -> (
+      let in_loop b = List.mem b members in
+      let tail_info =
+        List.find_map
+          (fun m ->
+            match Cfg.term cfg m with
+            | Cfg.Branch (cond, x, y) when in_loop x <> in_loop y ->
+                let inside = if in_loop x then x else y in
+                let outside = if in_loop x then y else x in
+                if inside = header then Some (m, cond, outside) else None
+            | _ -> None)
+          members
+      in
+      match tail_info with
+      | None -> false
+      | Some (tail, cond_id, exit_target) -> (
+          let g = Cfg.dfg cfg tail in
+          match match_counter g cond_id with
+          | Some (v, read_id, inc_id, write_id) when not (List.mem v protected) -> (
+              let users = Dfg.users g in
+              let extra_read_users = List.filter (fun u -> u <> inc_id) users.(read_id) in
+              let extra_inc_users =
+                List.filter (fun u -> u <> write_id && u <> cond_id) users.(inc_id)
+              in
+              if extra_read_users <> [] || extra_inc_users <> [] then false
+              else
+                match find_init cfg ~members v ~tail with
+                | None -> false
+                | Some (init_bid, init_write) ->
+                    let narrow = Hls_lang.Ast.Tint bits in
+                    let rule : Rewrite.rule =
+                     fun ~out ~remap id _node ~mapped_args:_ ->
+                      if id = read_id then
+                        Rewrite.Subst (Dfg.add out (Op.Read v) [] narrow)
+                      else if id = inc_id then
+                        Rewrite.Subst (Dfg.add out Op.Incr [ remap.(read_id) ] narrow)
+                      else if id = write_id then
+                        Rewrite.Subst
+                          (Dfg.add out (Op.Write v) [ remap.(inc_id) ] narrow)
+                      else if id = cond_id then
+                        Rewrite.Subst
+                          (Dfg.add out Op.Zdetect [ remap.(inc_id) ] Hls_lang.Ast.Tbool)
+                      else Rewrite.Copy
+                    in
+                    ignore (Rewrite.rewrite_block cfg tail ~rule);
+                    (* zero-detect fires on loop exit: exit-on-true *)
+                    (match Cfg.term cfg tail with
+                    | Cfg.Branch (c, _, _) ->
+                        Cfg.set_term cfg tail (Cfg.Branch (c, exit_target, header))
+                    | Cfg.Goto _ | Cfg.Halt -> ());
+                    let init_rule : Rewrite.rule =
+                     fun ~out ~remap:_ id _node ~mapped_args:_ ->
+                      if id = init_write then begin
+                        let zero = Dfg.add out (Op.Const 0) [] narrow in
+                        Rewrite.Subst (Dfg.add out (Op.Write v) [ zero ] narrow)
+                      end
+                      else Rewrite.Copy
+                    in
+                    ignore (Rewrite.rewrite_block cfg init_bid ~rule:init_rule);
+                    true)
+          | Some _ | None -> false))
+
+let run ?(protected = []) cfg =
+  let succs = succs_table cfg in
+  let loop_list = Graph_algo.loops ~succs ~entry:(Cfg.entry cfg) in
+  List.fold_left
+    (fun acc (header, members) ->
+      match Cfg.trip_count cfg header with
+      | Some trips -> recode_one cfg ~header ~members ~trips ~protected || acc
+      | None -> acc)
+    false loop_list

@@ -1,0 +1,15 @@
+(** Loop-counter recoding — the paper's example transformation: "the
+    loop-ending criterion can be changed to I = 0 using a two-bit variable
+    for I".
+
+    For a tail-exit loop with trip count [T = 2^b] whose counter [i]
+    starts at 0, is incremented once per iteration, and is used only as
+    the loop counter: the counter is narrowed to [b] bits (so it wraps to
+    0 exactly after [T] increments) and the exit comparison is replaced by
+    a free zero-detect on the incremented value. The comparison operation
+    disappears from the schedule. *)
+
+val run : ?protected:string list -> Hls_cdfg.Cfg.t -> bool
+(** Apply to every eligible loop; true if any was recoded. [protected]
+    variables (output ports, whose value is observable) are never
+    recoded. *)

@@ -1,0 +1,81 @@
+open Hls_cdfg
+
+type t = {
+  name : string;
+  descr : string;
+  run : outputs:string list -> Cfg.t -> Cfg.t * bool;
+}
+
+let in_place f ~outputs cfg =
+  ignore outputs;
+  let changed = f cfg in
+  (cfg, changed)
+
+let const_fold = { name = "const-fold"; descr = "constant folding and algebraic identities"; run = in_place Const_fold.run }
+
+let cse = { name = "cse"; descr = "common subexpression elimination"; run = in_place Cse.run }
+
+let forward = { name = "forward"; descr = "storage forwarding within blocks"; run = in_place Forward.run }
+
+let strength =
+  { name = "strength"; descr = "strength reduction (mul-by-2^k to shift, +-1 to incr/decr, =0 to zero-detect)";
+    run = in_place (fun cfg -> Strength.run cfg) }
+
+let dce =
+  { name = "dce"; descr = "dead code and dead write elimination";
+    run = (fun ~outputs cfg -> (cfg, Dead_code.run ~outputs cfg)) }
+
+let tree_height = { name = "tree-height"; descr = "tree height reduction of associative chains"; run = in_place Tree_height.run }
+
+let loop_recode =
+  { name = "loop-recode"; descr = "counter recoding to wraparound width and free zero-detect exit";
+    run = (fun ~outputs cfg -> (cfg, Loop_recode.run ~protected:outputs cfg)) }
+
+let unroll =
+  { name = "unroll"; descr = "unrolling of counted loops";
+    run = (fun ~outputs:_ cfg -> Unroll.unroll_all cfg) }
+
+let merge =
+  { name = "merge-blocks"; descr = "straight-line block merging and unreachable-block pruning";
+    run = (fun ~outputs:_ cfg -> Clean_cfg.merge cfg) }
+
+let prune =
+  { name = "prune"; descr = "unreachable-block pruning";
+    run = (fun ~outputs:_ cfg -> Clean_cfg.prune cfg) }
+
+let if_convert =
+  { name = "if-convert"; descr = "speculative mux conversion of small branch diamonds";
+    run = (fun ~outputs:_ cfg -> If_convert.run cfg) }
+
+let all =
+  [ const_fold; cse; forward; strength; dce; tree_height; loop_recode; unroll; merge;
+    prune; if_convert ]
+
+let find name = List.find (fun p -> p.name = name) all
+
+let run_pipeline ~outputs passes cfg =
+  let max_rounds = 16 in
+  let rec go cfg round =
+    if round >= max_rounds then cfg
+    else begin
+      let cfg, changed =
+        List.fold_left
+          (fun (cfg, changed) pass ->
+            let cfg, c = pass.run ~outputs cfg in
+            (cfg, changed || c))
+          (cfg, false) passes
+      in
+      if changed then go cfg (round + 1) else cfg
+    end
+  in
+  go cfg 0
+
+let standard = [ forward; const_fold; cse; strength; dce ]
+
+let aggressive = standard @ [ loop_recode; unroll; merge; tree_height; prune ]
+
+let optimize ?(level = `Standard) ~outputs cfg =
+  match level with
+  | `None -> cfg
+  | `Standard -> run_pipeline ~outputs standard cfg
+  | `Aggressive -> run_pipeline ~outputs aggressive cfg

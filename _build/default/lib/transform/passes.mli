@@ -1,0 +1,32 @@
+(** Pass manager: named optimization passes and standard pipelines.
+
+    The [`Standard] level applies the paper's compiler-like optimizations
+    (constant folding/propagation, CSE, dead-code elimination, storage
+    forwarding, strength reduction, zero-detect rewriting) to a fixpoint.
+    [`Aggressive] additionally recodes loop counters, unrolls counted
+    loops and merges the resulting straight-line blocks — the full
+    sequence the paper walks through on the sqrt example. *)
+
+open Hls_cdfg
+
+type t = {
+  name : string;
+  descr : string;
+  run : outputs:string list -> Cfg.t -> Cfg.t * bool;
+}
+
+val all : t list
+(** Every registered pass. *)
+
+val find : string -> t
+(** Look up by name. Raises [Not_found]. *)
+
+val run_pipeline : outputs:string list -> t list -> Cfg.t -> Cfg.t
+(** Apply the pass list repeatedly until a fixpoint (bounded). *)
+
+val standard : t list
+val aggressive : t list
+
+val optimize :
+  ?level:[ `None | `Standard | `Aggressive ] -> outputs:string list -> Cfg.t -> Cfg.t
+(** Run a pipeline level (default [`Standard]). *)

@@ -1,0 +1,55 @@
+open Hls_cdfg
+
+type decision = Copy | Subst of Dfg.nid | Drop
+
+type rule = out:Dfg.t -> remap:int array -> Dfg.nid -> Dfg.node -> mapped_args:Dfg.nid list -> decision
+
+let rewrite_dfg g ~rule =
+  let n = Dfg.n_nodes g in
+  let out = Dfg.create () in
+  let remap = Array.make n (-1) in
+  Dfg.iter
+    (fun id node ->
+      (* arguments are remapped permissively (-1 for dropped); a rule that
+         keeps a node whose argument was dropped fails at [Dfg.add] below *)
+      let mapped_args = List.map (fun a -> remap.(a)) node.Dfg.args in
+      match rule ~out ~remap id node ~mapped_args with
+      | Copy ->
+          if List.mem (-1) mapped_args then
+            invalid_arg
+              (Printf.sprintf "Rewrite: node %%%d uses a dropped node" id);
+          remap.(id) <- Dfg.add out node.Dfg.op mapped_args node.Dfg.ty
+      | Subst nid -> remap.(id) <- nid
+      | Drop -> remap.(id) <- -1)
+    g;
+  (out, remap)
+
+let structurally_equal a b =
+  Dfg.n_nodes a = Dfg.n_nodes b
+  && List.for_all
+       (fun id ->
+         let na = Dfg.node a id and nb = Dfg.node b id in
+         Op.equal na.Dfg.op nb.Dfg.op && na.Dfg.args = nb.Dfg.args && na.Dfg.ty = nb.Dfg.ty)
+       (Dfg.node_ids a)
+
+let rewrite_block cfg bid ~rule =
+  let old_dfg = Cfg.dfg cfg bid in
+  let new_dfg, remap = rewrite_dfg old_dfg ~rule in
+  let new_term =
+    match Cfg.term cfg bid with
+    | Cfg.Branch (cond, bt, bf) ->
+        let m = remap.(cond) in
+        if m = -1 then invalid_arg "Rewrite: branch condition was dropped";
+        Cfg.Branch (m, bt, bf)
+    | (Cfg.Goto _ | Cfg.Halt) as t -> t
+  in
+  let changed =
+    (not (structurally_equal old_dfg new_dfg)) || new_term <> Cfg.term cfg bid
+  in
+  if changed then Cfg.replace_dfg cfg bid new_dfg new_term;
+  changed
+
+let rewrite_all cfg ~rule =
+  List.fold_left
+    (fun acc bid -> rewrite_block cfg bid ~rule:(rule bid) || acc)
+    false (Cfg.block_ids cfg)

@@ -1,0 +1,35 @@
+(** Generic block-rewriting machinery shared by the optimization passes.
+
+    Because DFG node ids must stay topological, passes rebuild blocks
+    rather than mutate them: nodes are visited in id order and each is
+    either copied, substituted by an existing node of the new graph, or
+    dropped. Argument references and the block terminator's condition are
+    remapped automatically. *)
+
+open Hls_cdfg
+
+(** Decision for one old node. [Subst id] must reference a node already
+    present in the {e new} graph. [Drop] is only legal for nodes whose
+    value ends up unused (the rewrite fails loudly otherwise). *)
+type decision = Copy | Subst of Dfg.nid | Drop
+
+(** Rule invoked per node, in ascending id order. Receives the new graph
+    under construction, the remap table (old id → new id, [-1] for
+    dropped), and the old node with remapped arguments precomputed
+    ([mapped_args] contains [-1] where an argument was dropped — legal
+    only if this node is itself dropped). The rule may add nodes to the
+    new graph itself and return [Subst]. *)
+type rule = out:Dfg.t -> remap:int array -> Dfg.nid -> Dfg.node -> mapped_args:Dfg.nid list -> decision
+
+val rewrite_dfg : Dfg.t -> rule:rule -> Dfg.t * int array
+(** Rebuild a single DFG. Returns the new graph and the remap table.
+    Raises [Invalid_argument] if a kept node references a dropped one. *)
+
+val rewrite_block : Cfg.t -> Cfg.bid -> rule:rule -> bool
+(** Rewrite one block in place (via {!Cfg.replace_dfg}), remapping the
+    branch condition. Returns whether the block changed structurally
+    (any node dropped, substituted, rewritten, or added). Raises
+    [Invalid_argument] if the branch condition was dropped. *)
+
+val rewrite_all : Cfg.t -> rule:(Cfg.bid -> rule) -> bool
+(** Apply a (block-indexed) rule to every block; true if any changed. *)

@@ -1,0 +1,13 @@
+(** Hardware-specific strength reduction (the paper's "local
+    transformations, including those that are more specific to hardware"):
+
+    - multiplication by a power-of-two constant becomes a constant shift
+      (free wiring) — this covers the sqrt example's [0.5 * x → x >> 1];
+      the rewrite is bit-exact for fixed-point, both operations floor;
+    - [x + 1 → incr x] and [x - 1 → decr x];
+    - [x = 0 → zdetect x] (free zero-detect on a register output);
+    - optionally, division by a power of two becomes an arithmetic right
+      shift. This changes rounding for negative dividends (shift floors,
+      division truncates toward zero), so it is off by default. *)
+
+val run : ?allow_div_floor:bool -> Hls_cdfg.Cfg.t -> bool

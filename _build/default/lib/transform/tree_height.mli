@@ -1,0 +1,13 @@
+(** Tree-height reduction: rebalance chains of one associative operator
+    into a balanced tree, shortening the critical path and exposing
+    parallelism to the scheduler (one of the paper's "high-level
+    transformations" on the behavior).
+
+    Applied only where the rewrite is bit-exact: two's-complement wrapping
+    addition (integer or fixed-point), integer multiplication (modular),
+    and the bitwise operators. Fixed-point multiplication truncates and is
+    {e not} associative, so those chains are left alone. A chain is a
+    maximal tree of same-operator/same-type nodes whose intermediate
+    results have no other consumers. *)
+
+val run : Hls_cdfg.Cfg.t -> bool

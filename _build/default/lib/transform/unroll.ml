@@ -1,0 +1,187 @@
+open Hls_cdfg
+
+let succs_table cfg = Array.init (Cfg.n_blocks cfg) (fun bid -> Cfg.succs cfg bid)
+
+(* Classification of the loop's exit structure; see the interface. *)
+type shape =
+  | Tail_exit  (** exit branch has continue-target = header *)
+  | Header_exit of Cfg.bid  (** header branches out; payload = exit target *)
+
+let classify cfg ~header ~members =
+  let in_loop b = List.mem b members in
+  let exit_branches =
+    List.filter_map
+      (fun m ->
+        match Cfg.term cfg m with
+        | Cfg.Branch (_, x, y) when in_loop x <> in_loop y ->
+            let inside = if in_loop x then x else y in
+            let outside = if in_loop x then y else x in
+            Some (m, inside, outside)
+        | _ -> None)
+      members
+  in
+  match exit_branches with
+  | [ (_, inside, _) ] when inside = header -> Some Tail_exit
+  | [ (m, _, outside) ] when m = header ->
+      if Dfg.writes (Cfg.dfg cfg header) = [] then Some (Header_exit outside) else None
+  | _ -> None
+
+type slot = Orig of Cfg.bid | Copy of int * Cfg.bid
+
+let unroll cfg ~header =
+  match Cfg.trip_count cfg header with
+  | None -> None
+  | Some trips -> (
+      let succs = succs_table cfg in
+      let loop_list = Graph_algo.loops ~succs ~entry:(Cfg.entry cfg) in
+      match List.assoc_opt header loop_list with
+      | None -> None
+      | Some members -> (
+          match classify cfg ~header ~members with
+          | None -> None
+          | Some shape ->
+              let in_loop b = List.mem b members in
+              (* layout: originals in order; at the header position, all
+                 copies of all members, iteration-major *)
+              let slots =
+                List.concat_map
+                  (fun bid ->
+                    if bid = header then
+                      List.concat_map
+                        (fun i -> List.map (fun m -> Copy (i, m)) members)
+                        (List.init trips (fun i -> i + 1))
+                    else if in_loop bid then []
+                    else [ Orig bid ])
+                  (Cfg.block_ids cfg)
+              in
+              let out = Cfg.create () in
+              let orig_map = Hashtbl.create 16 in
+              let copy_map = Hashtbl.create 16 in
+              List.iter
+                (fun slot ->
+                  match slot with
+                  | Orig bid ->
+                      let b = Cfg.block cfg bid in
+                      let nb =
+                        Cfg.add_block out ~label:b.Cfg.label
+                          (Clean_cfg.copy_dfg b.Cfg.dfg) b.Cfg.term
+                      in
+                      Hashtbl.replace orig_map bid nb
+                  | Copy (i, m) ->
+                      let b = Cfg.block cfg m in
+                      let nb =
+                        Cfg.add_block out
+                          ~label:(Printf.sprintf "%s_u%d" b.Cfg.label i)
+                          (Clean_cfg.copy_dfg b.Cfg.dfg) b.Cfg.term
+                      in
+                      Hashtbl.replace copy_map (i, m) nb)
+                slots;
+              let map_orig bid = Hashtbl.find orig_map bid in
+              let map_copy i m = Hashtbl.find copy_map (i, m) in
+              (* target mapping for a non-loop block: the loop is entered
+                 through the header's first copy *)
+              let map_outside_target t =
+                if t = header then map_copy 1 header
+                else if in_loop t then invalid_arg "Unroll: side entry into loop"
+                else map_orig t
+              in
+              (* target mapping inside copy i *)
+              let map_inside_target ~i t =
+                if t = header then begin
+                  if i < trips then map_copy (i + 1) header
+                  else
+                    match shape with
+                    | Header_exit exit_target -> map_orig exit_target
+                    | Tail_exit ->
+                        (* tail-exit loops resolve the branch itself; a
+                           bare backedge Goto header at i = trips cannot
+                           occur *)
+                        invalid_arg "Unroll: unresolved final back edge"
+                end
+                else if in_loop t then map_copy i t
+                else map_orig t
+              in
+              (* fix terms for original blocks *)
+              Hashtbl.iter
+                (fun bid nb ->
+                  let term =
+                    match Cfg.term cfg bid with
+                    | Cfg.Goto t -> Cfg.Goto (map_outside_target t)
+                    | Cfg.Branch (c, x, y) ->
+                        Cfg.Branch (c, map_outside_target x, map_outside_target y)
+                    | Cfg.Halt -> Cfg.Halt
+                  in
+                  Cfg.set_term out nb term)
+                orig_map;
+              (* fix terms for copies *)
+              Hashtbl.iter
+                (fun (i, m) nb ->
+                  let term =
+                    match Cfg.term cfg m with
+                    | Cfg.Goto t -> Cfg.Goto (map_inside_target ~i t)
+                    | Cfg.Branch (c, x, y) ->
+                        let x_in = in_loop x and y_in = in_loop y in
+                        if x_in <> y_in then begin
+                          (* loop-control branch: resolve statically *)
+                          let inside = if x_in then x else y in
+                          let outside = if x_in then y else x in
+                          match shape with
+                          | Tail_exit ->
+                              if i < trips then Cfg.Goto (map_copy (i + 1) header)
+                              else Cfg.Goto (map_orig outside)
+                          | Header_exit _ ->
+                              (* header-style test always continues inside
+                                 within the body copies *)
+                              Cfg.Goto (map_inside_target ~i inside)
+                        end
+                        else
+                          Cfg.Branch
+                            (c, map_inside_target ~i x, map_inside_target ~i y)
+                    | Cfg.Halt -> Cfg.Halt
+                  in
+                  Cfg.set_term out nb term)
+                copy_map;
+              (* entry and trip counts *)
+              Cfg.set_entry out
+                (if in_loop (Cfg.entry cfg) then map_copy 1 (Cfg.entry cfg)
+                 else map_orig (Cfg.entry cfg));
+              List.iter
+                (fun bid ->
+                  match Cfg.trip_count cfg bid with
+                  | None -> ()
+                  | Some t ->
+                      if bid = header then () (* the unrolled loop is gone *)
+                      else if in_loop bid then
+                        List.iter
+                          (fun i -> Cfg.set_trip_count out (map_copy i bid) t)
+                          (List.init trips (fun i -> i + 1))
+                      else Cfg.set_trip_count out (map_orig bid) t)
+                (Cfg.block_ids cfg);
+              Cfg.validate out;
+              Some out))
+
+let unroll_all ?(max_trip = 64) cfg =
+  let changed = ref false in
+  let rec go cfg fuel =
+    if fuel = 0 then cfg
+    else begin
+      let succs = succs_table cfg in
+      let loop_list = Graph_algo.loops ~succs ~entry:(Cfg.entry cfg) in
+      let candidate =
+        List.find_map
+          (fun (h, _members) ->
+            match Cfg.trip_count cfg h with
+            | Some t when t <= max_trip -> (
+                match unroll cfg ~header:h with Some out -> Some out | None -> None)
+            | _ -> None)
+          loop_list
+      in
+      match candidate with
+      | Some out ->
+          changed := true;
+          go out (fuel - 1)
+      | None -> cfg
+    end
+  in
+  let result = go cfg 64 in
+  (result, !changed)

@@ -1,0 +1,27 @@
+(** Loop unrolling for loops with a recorded trip count ("loop unrolling
+    can also be done in this case since the number of iterations is fixed
+    and small").
+
+    The loop body is replicated trip-count times; loop-control branches
+    are resolved statically to jumps; data flows between iterations
+    through the existing [Write]/[Read] variable anchors (storage
+    forwarding and block merging then turn the copies into one long
+    block). Two loop shapes are supported, matching what the frontend
+    generates:
+
+    - tail-exit ("repeat"): the exit branch sits in the block holding the
+      back edge and its continue-target is the header;
+    - header-exit ("while"): the header tests the condition and contains
+      no writes, so the final back edge can jump straight to the exit.
+
+    Loops containing data-dependent conditionals are still unrollable —
+    only loop-control branches are resolved. Nested counted loops inside
+    the body are replicated with their trip counts intact. *)
+
+val unroll : Hls_cdfg.Cfg.t -> header:Hls_cdfg.Cfg.bid -> Hls_cdfg.Cfg.t option
+(** Unroll one loop. [None] if the block is not the header of a loop with
+    a known trip count or the loop shape is unsupported. *)
+
+val unroll_all : ?max_trip:int -> Hls_cdfg.Cfg.t -> Hls_cdfg.Cfg.t * bool
+(** Repeatedly unroll every counted loop with trip count at most
+    [max_trip] (default 64), until none remains. *)

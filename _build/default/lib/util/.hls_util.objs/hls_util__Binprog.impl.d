@@ -1,0 +1,1 @@
+lib/util/binprog.ml: Array Fun Hashtbl List

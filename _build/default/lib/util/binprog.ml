@@ -1,0 +1,102 @@
+type var = int
+
+type constraint_ =
+  | At_most of int * var list
+  | Implies of var * var
+  | Forbid of var * var
+
+type t = {
+  mutable names : string list;  (* reversed *)
+  mutable count : int;
+  mutable groups : var list list;  (* reversed order of addition *)
+  mutable constraints : constraint_ list;
+}
+
+let create () = { names = []; count = 0; groups = []; constraints = [] }
+
+let new_var t name =
+  let v = t.count in
+  t.count <- t.count + 1;
+  t.names <- name :: t.names;
+  v
+
+let n_vars t = t.count
+
+let add_group t vars =
+  if vars = [] then invalid_arg "Binprog.add_group: empty group";
+  t.groups <- vars :: t.groups
+
+let at_most t k vars = t.constraints <- At_most (k, vars) :: t.constraints
+
+let implies t a b = t.constraints <- Implies (a, b) :: t.constraints
+
+let forbid_pair t a b = t.constraints <- Forbid (a, b) :: t.constraints
+
+(* assignment: 0 = false, 1 = true, -1 = undecided *)
+let check_partial constraints assign =
+  List.for_all
+    (fun c ->
+      match c with
+      | At_most (k, vars) ->
+          let trues = List.length (List.filter (fun v -> assign.(v) = 1) vars) in
+          trues <= k
+      | Implies (a, b) -> not (assign.(a) = 1 && assign.(b) = 0)
+      | Forbid (a, b) -> not (assign.(a) = 1 && assign.(b) = 1))
+    constraints
+
+let solve ?(objective = []) t =
+  let groups = List.rev t.groups in
+  (* variables not in any group are independent binary decisions *)
+  let grouped = Hashtbl.create 16 in
+  List.iter (fun g -> List.iter (fun v -> Hashtbl.replace grouped v ()) g) groups;
+  let free =
+    List.filter
+      (fun v -> not (Hashtbl.mem grouped v))
+      (List.init t.count Fun.id)
+  in
+  let decision_sets = groups @ List.map (fun v -> [ v ]) free in
+  let free_set = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace free_set v ()) free;
+  let weight = Array.make (max 1 t.count) 0 in
+  List.iter (fun (v, w) -> weight.(v) <- weight.(v) + w) objective;
+  let assign = Array.make (max 1 t.count) (-1) in
+  let best = ref None in
+  let best_cost = ref max_int in
+  let nodes = ref 0 in
+  let budget = 10_000_000 in
+  let rec search sets cost =
+    incr nodes;
+    if !nodes > budget then invalid_arg "Binprog.solve: search budget exceeded";
+    if cost >= !best_cost then ()
+    else
+      match sets with
+      | [] ->
+          if check_partial t.constraints assign then begin
+            best_cost := cost;
+            best := Some (Array.copy assign)
+          end
+      | set :: rest ->
+          let choices =
+            (* a group picks exactly one member; a free variable may also
+               be left at 0 *)
+            if List.length set = 1 && Hashtbl.mem free_set (List.hd set) then
+              [ None; Some (List.hd set) ]
+            else List.map (fun v -> Some v) set
+          in
+          List.iter
+            (fun choice ->
+              List.iter (fun v -> assign.(v) <- 0) set;
+              (match choice with Some v -> assign.(v) <- 1 | None -> ());
+              if check_partial t.constraints assign then begin
+                let added =
+                  match choice with Some v -> weight.(v) | None -> 0
+                in
+                search rest (cost + added)
+              end)
+            choices;
+          List.iter (fun v -> assign.(v) <- -1) set
+  in
+  search decision_sets 0;
+  match !best with
+  | Some a -> Some (fun v -> a.(v) = 1)
+  | None -> None

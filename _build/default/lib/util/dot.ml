@@ -1,0 +1,47 @@
+type item = Node of string * (string * string) list | Edge of string * string * (string * string) list
+
+type t = { name : string; directed : bool; mutable items : item list }
+
+let create ?(directed = true) name = { name; directed; items = [] }
+
+let node t ?(attrs = []) id = t.items <- Node (id, attrs) :: t.items
+
+let edge t ?(attrs = []) src dst = t.items <- Edge (src, dst, attrs) :: t.items
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attrs_str = function
+  | [] -> ""
+  | attrs ->
+      let parts =
+        List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) attrs
+      in
+      " [" ^ String.concat ", " parts ^ "]"
+
+let render t =
+  let buf = Buffer.create 512 in
+  let kw = if t.directed then "digraph" else "graph" in
+  let arrow = if t.directed then "->" else "--" in
+  Buffer.add_string buf (Printf.sprintf "%s \"%s\" {\n" kw (escape t.name));
+  List.iter
+    (fun item ->
+      match item with
+      | Node (id, attrs) ->
+          Buffer.add_string buf (Printf.sprintf "  \"%s\"%s;\n" (escape id) (attrs_str attrs))
+      | Edge (src, dst, attrs) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s\" %s \"%s\"%s;\n" (escape src) arrow (escape dst)
+               (attrs_str attrs)))
+    (List.rev t.items);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Minimal Graphviz DOT emission for graphs produced by the toolkit. *)
+
+type t
+
+val create : ?directed:bool -> string -> t
+(** [create name] starts a (by default directed) graph. *)
+
+val node : t -> ?attrs:(string * string) list -> string -> unit
+(** Declare a node with optional attributes (e.g. [("label", "+")]). *)
+
+val edge : t -> ?attrs:(string * string) list -> string -> string -> unit
+(** Declare an edge from the first node to the second. *)
+
+val render : t -> string
+(** The complete DOT source text. *)

@@ -1,0 +1,49 @@
+type format = { int_bits : int; frac_bits : int }
+
+let format ~int_bits ~frac_bits =
+  let total = int_bits + frac_bits in
+  if int_bits < 0 || frac_bits < 0 || total < 1 || total > 62 then
+    invalid_arg "Fixedpt.format: total bits must be in 1..62";
+  { int_bits; frac_bits }
+
+let bits f = f.int_bits + f.frac_bits
+
+(* Truncate to [bits f] bits, then sign-extend from the top bit. *)
+let wrap f v =
+  let w = bits f in
+  let mask = (1 lsl w) - 1 in
+  let t = v land mask in
+  let sign_bit = 1 lsl (w - 1) in
+  if t land sign_bit <> 0 then t - (1 lsl w) else t
+
+let scale f = 1 lsl f.frac_bits
+
+let of_float f x =
+  let scaled = x *. float_of_int (scale f) in
+  wrap f (int_of_float (Float.round scaled))
+
+let to_float f v = float_of_int v /. float_of_int (scale f)
+
+let of_int f n = wrap f (n lsl f.frac_bits)
+
+let to_int f v = v asr f.frac_bits
+
+let add f a b = wrap f (a + b)
+let sub f a b = wrap f (a - b)
+let neg f a = wrap f (-a)
+
+let mul f a b = wrap f ((a * b) asr f.frac_bits)
+
+let div f a b =
+  if b = 0 then raise Division_by_zero;
+  wrap f (a lsl f.frac_bits / b)
+
+let shift_left f a k =
+  if k < 0 then invalid_arg "Fixedpt.shift_left: negative amount";
+  wrap f (a lsl k)
+
+let shift_right f a k =
+  if k < 0 then invalid_arg "Fixedpt.shift_right: negative amount";
+  wrap f (a asr k)
+
+let eps f = 1.0 /. float_of_int (scale f)

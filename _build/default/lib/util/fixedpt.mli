@@ -1,0 +1,52 @@
+(** Signed fixed-point arithmetic on OCaml [int] bit patterns.
+
+    A format [{ int_bits; frac_bits }] denotes a two's-complement signed
+    number with [int_bits + frac_bits] total bits, scaled by [2^frac_bits].
+    Both the behavioral interpreter and the RTL simulator use these exact
+    semantics, so co-simulation can compare raw bit patterns.
+
+    All results are wrapped to the format's width (hardware wraparound
+    semantics), which is also what the paper's loop-counter recoding
+    transformation relies on. *)
+
+type format = { int_bits : int; frac_bits : int }
+
+val format : int_bits:int -> frac_bits:int -> format
+(** Build a format. Raises [Invalid_argument] if total bits is not in
+    [1 .. 62]. *)
+
+val bits : format -> int
+(** Total bit width. *)
+
+val wrap : format -> int -> int
+(** Reduce an arbitrary integer to the format's signed range by
+    truncating to [bits] bits and sign-extending. *)
+
+val of_float : format -> float -> int
+(** Nearest representable value (round to nearest, wrapped). *)
+
+val to_float : format -> int -> float
+
+val of_int : format -> int -> int
+(** The integer [n] as a fixed-point pattern ([n * 2^frac_bits], wrapped). *)
+
+val to_int : format -> int -> int
+(** Truncate toward zero to an integer. *)
+
+val add : format -> int -> int -> int
+val sub : format -> int -> int -> int
+val neg : format -> int -> int
+
+val mul : format -> int -> int -> int
+(** Full product rescaled by [2^frac_bits] (truncating), then wrapped. *)
+
+val div : format -> int -> int -> int
+(** Quotient scaled by [2^frac_bits] (truncating). Raises [Division_by_zero]
+    when the divisor pattern is zero. *)
+
+val shift_left : format -> int -> int -> int
+val shift_right : format -> int -> int -> int
+(** Arithmetic shifts by a non-negative constant, wrapped. *)
+
+val eps : format -> float
+(** Magnitude of one least-significant bit, [2^-frac_bits]. *)

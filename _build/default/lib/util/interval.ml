@@ -1,0 +1,34 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+
+let contains a x = a.lo <= x && x <= a.hi
+
+let merge a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let length a = a.hi - a.lo + 1
+
+let compare_lo a b =
+  let c = compare a.lo b.lo in
+  if c <> 0 then c else compare a.hi b.hi
+
+(* Sweep: +1 at lo, -1 just past hi. *)
+let max_overlap ivs =
+  let events =
+    List.concat_map (fun iv -> [ (iv.lo, 1); (iv.hi + 1, -1) ]) ivs
+    |> List.sort compare
+  in
+  let _, best =
+    List.fold_left
+      (fun (cur, best) (_, d) ->
+        let cur = cur + d in
+        (cur, max best cur))
+      (0, 0) events
+  in
+  best
+
+let pp ppf a = Format.fprintf ppf "[%d,%d]" a.lo a.hi

@@ -1,0 +1,30 @@
+(** Closed integer intervals, used for value lifetimes [birth, death].
+
+    An interval [{ lo; hi }] with [lo <= hi] represents the control steps
+    during which a value must be kept in storage. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** [make lo hi]. Raises [Invalid_argument] if [lo > hi]. *)
+
+val overlaps : t -> t -> bool
+(** Whether the two closed intervals share at least one point. *)
+
+val contains : t -> int -> bool
+
+val merge : t -> t -> t
+(** Smallest interval covering both. *)
+
+val length : t -> int
+(** Number of integer points, [hi - lo + 1]. *)
+
+val compare_lo : t -> t -> int
+(** Order by left endpoint, then right endpoint — the left-edge order. *)
+
+val max_overlap : t list -> int
+(** Maximum number of intervals simultaneously alive at any point — the
+    lower bound (and left-edge-achieved optimum) on register count. Returns
+    0 for the empty list. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+(* Binary min-heap with FIFO tie-breaking via a monotone sequence number.
+   Slots are [option] so no dummy values are ever fabricated. *)
+
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let entry_cmp q a b =
+  let c = q.cmp a.value b.value in
+  if c <> 0 then c else compare a.seq b.seq
+
+let get q i =
+  match q.data.(i) with
+  | Some e -> e
+  | None -> invalid_arg "Pqueue: internal hole"
+
+let grow q =
+  let cap = Array.length q.data in
+  if q.size >= cap then begin
+    let ncap = if cap = 0 then 8 else cap * 2 in
+    let ndata = Array.make ncap None in
+    Array.blit q.data 0 ndata 0 q.size;
+    q.data <- ndata
+  end
+
+let swap q i j =
+  let tmp = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_cmp q (get q i) (get q parent) < 0 then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && entry_cmp q (get q l) (get q !smallest) < 0 then smallest := l;
+  if r < q.size && entry_cmp q (get q r) (get q !smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q v =
+  grow q;
+  q.data.(q.size) <- Some { value = v; seq = q.next_seq };
+  q.next_seq <- q.next_seq + 1;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q = if q.size = 0 then None else Some (get q 0).value
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = (get q 0).value in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      q.data.(q.size) <- None;
+      sift_down q 0
+    end
+    else q.data.(0) <- None;
+    Some top
+  end
+
+let of_list ~cmp xs =
+  let q = create ~cmp in
+  List.iter (push q) xs;
+  q
+
+let to_sorted_list q =
+  let rec drain acc =
+    match pop q with None -> List.rev acc | Some v -> drain (v :: acc)
+  in
+  drain []

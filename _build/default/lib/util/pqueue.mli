@@ -1,0 +1,32 @@
+(** Mutable binary-heap priority queue.
+
+    The queue pops the element with the {e smallest} priority first, where
+    priorities are compared with the [cmp] function supplied at creation.
+    Ties are broken by insertion order (FIFO), which makes the schedulers
+    built on top of this queue deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty queue ordered by [cmp]. *)
+
+val length : 'a t -> int
+(** Number of queued elements. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Insert an element. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element, or [None] when empty. *)
+
+val peek : 'a t -> 'a option
+(** Return the minimum element without removing it. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** Queue containing all elements of the list. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Drain the queue; returns the elements in ascending priority order.
+    The queue is empty afterwards. *)

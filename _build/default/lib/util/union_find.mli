@@ -1,0 +1,23 @@
+(** Union–find (disjoint set) over dense integer identifiers.
+
+    Used by the clique-partitioning allocator to merge compatible
+    operations/values into shared hardware groups. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a structure over elements [0 .. n-1], each in its own
+    singleton set. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set (path compression). *)
+
+val union : t -> int -> int -> unit
+(** Merge the two sets (union by rank). No effect if already merged. *)
+
+val same : t -> int -> int -> bool
+(** Whether the two elements are in the same set. *)
+
+val groups : t -> int list list
+(** All sets, each as a list of members in ascending order. Groups are
+    ordered by their smallest member. *)

@@ -1,0 +1,1 @@
+test/gen.ml: Ast Builder Hls_cdfg Hls_lang Hls_util List Pretty Printf QCheck Random

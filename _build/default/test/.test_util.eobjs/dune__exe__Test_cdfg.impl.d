@@ -1,0 +1,1 @@
+test/test_cdfg.ml: Alcotest Array Ast Cfg Compile Dfg Gen Graph_algo Hls_cdfg Hls_core Hls_lang List Liveness Op Printf QCheck QCheck_alcotest Typecheck

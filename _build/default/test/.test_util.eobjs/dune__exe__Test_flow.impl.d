@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Explore Flow Hls_core Hls_lang Hls_rtl Hls_sched Limits List Report String Workloads

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Gen Hls_core Hls_lang Hls_sim Inline Lexer List Parser Pretty QCheck QCheck_alcotest String Typecheck Typed

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Check Component Datapath Emit Estimate Flow Hls_cdfg Hls_core Hls_lang Hls_rtl Hls_sched List Op String Wire Workloads

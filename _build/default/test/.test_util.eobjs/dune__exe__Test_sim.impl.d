@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ast Beh_sim Cfg_sim Cosim Flow Gen Hls_cdfg Hls_core Hls_lang Hls_sched Hls_sim List Parser Printf QCheck QCheck_alcotest Random Rtl_sim String Typecheck Vcd Workloads

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Binprog Dot Fixedpt Fun Gen Hls_util Interval List Pqueue Printf QCheck QCheck_alcotest String Table Union_find Vec

@@ -1,0 +1,359 @@
+(* Tests for the BSL frontend: lexer, parser, pretty-printer round trips,
+   and the type checker's acceptance and rejection rules. *)
+
+open Hls_lang
+
+(* ---- lexer ---- *)
+
+let toks src = List.map (fun (l : Lexer.lexed) -> l.Lexer.tok) (Lexer.tokenize src)
+
+let test_lex_basic () =
+  (match toks "x := a + 42;" with
+  | [ IDENT "x"; ASSIGN; IDENT "a"; PLUS; INT 42; SEMI; EOF ] -> ()
+  | ts ->
+      Alcotest.failf "unexpected tokens: %s"
+        (String.concat " " (List.map Lexer.token_to_string ts)));
+  match toks "y := 0.5 * x;" with
+  | [ IDENT "y"; ASSIGN; REAL 0.5; STAR; IDENT "x"; SEMI; EOF ] -> ()
+  | ts ->
+      Alcotest.failf "unexpected tokens: %s"
+        (String.concat " " (List.map Lexer.token_to_string ts))
+
+let test_lex_operators () =
+  match toks "< <= << <> > >= >> = := :" with
+  | [ LT; LE; SHL; NE; GT; GE; SHR; EQ; ASSIGN; COLON; EOF ] -> ()
+  | ts ->
+      Alcotest.failf "got: %s" (String.concat " " (List.map Lexer.token_to_string ts))
+
+let test_lex_keywords_case_insensitive () =
+  match toks "MODULE Begin END" with
+  | [ KW_MODULE; KW_BEGIN; KW_END; EOF ] -> ()
+  | _ -> Alcotest.fail "keywords should be case-insensitive"
+
+let test_lex_comments_and_positions () =
+  let lexed = Lexer.tokenize "a -- comment to eol\nb" in
+  (match List.map (fun (l : Lexer.lexed) -> l.Lexer.tok) lexed with
+  | [ IDENT "a"; IDENT "b"; EOF ] -> ()
+  | _ -> Alcotest.fail "comment not skipped");
+  match lexed with
+  | [ _; b; _ ] ->
+      Alcotest.(check int) "line" 2 b.Lexer.tpos.Ast.line;
+      Alcotest.(check int) "col" 1 b.Lexer.tpos.Ast.col
+  | _ -> Alcotest.fail "arity"
+
+let test_lex_illegal () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Lexer.tokenize "a $ b");
+       false
+     with Ast.Frontend_error (_, _) -> true)
+
+(* ---- parser ---- *)
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  (match e.Ast.e with
+  | Ast.Ebin (Ast.Add, { e = Ast.Eint 1; _ }, { e = Ast.Ebin (Ast.Mul, _, _); _ }) -> ()
+  | _ -> Alcotest.fail "mul should bind tighter than add");
+  let e = Parser.parse_expr "a < b + 1" in
+  (match e.Ast.e with
+  | Ast.Ebin (Ast.Lt, _, { e = Ast.Ebin (Ast.Add, _, _); _ }) -> ()
+  | _ -> Alcotest.fail "add should bind tighter than compare");
+  let e = Parser.parse_expr "a or b and c" in
+  match e.Ast.e with
+  | Ast.Ebin (Ast.Or, _, { e = Ast.Ebin (Ast.And, _, _); _ }) -> ()
+  | _ -> Alcotest.fail "and should bind tighter than or"
+
+let test_parse_unary_and_parens () =
+  let e = Parser.parse_expr "-(a + b) * not c" in
+  match e.Ast.e with
+  | Ast.Ebin (Ast.Mul, { e = Ast.Eun (Ast.Neg, _); _ }, { e = Ast.Eun (Ast.Not, _); _ }) ->
+      ()
+  | _ -> Alcotest.fail "unary structure"
+
+let test_parse_shift_assoc () =
+  let e = Parser.parse_expr "x >> 1 >> 2" in
+  match e.Ast.e with
+  | Ast.Ebin (Ast.Shr, { e = Ast.Ebin (Ast.Shr, _, _); _ }, { e = Ast.Eint 2; _ }) -> ()
+  | _ -> Alcotest.fail "shift left-assoc"
+
+let small_module =
+  {|
+module m(input a, b: int<8>; output c: int<8>);
+var t: int<8>;
+begin
+  t := a + b;
+  if t > 3 then
+    c := t;
+  else
+    c := 0;
+  end;
+  while t > 0 do
+    t := t - 1;
+  end;
+  repeat
+    t := t + 1;
+  until t = 4;
+  for t := 0 to 3 do
+    c := c + 1;
+  end;
+end
+|}
+
+let test_parse_module () =
+  let p = Parser.parse small_module in
+  Alcotest.(check string) "name" "m" p.Ast.mname;
+  Alcotest.(check int) "ports" 3 (List.length p.Ast.ports);
+  Alcotest.(check int) "vars" 1 (List.length p.Ast.vars);
+  Alcotest.(check int) "stmts" 5 (List.length p.Ast.body)
+
+let test_parse_port_groups () =
+  let p =
+    Parser.parse "module g(input a, b: int<4>; output y: bool); begin y := a > b; end"
+  in
+  match p.Ast.ports with
+  | [ { Ast.pname = "a"; pdir = Ast.Input; pty = Ast.Tint 4 };
+      { Ast.pname = "b"; pdir = Ast.Input; _ };
+      { Ast.pname = "y"; pdir = Ast.Output; pty = Ast.Tbool } ] ->
+      ()
+  | _ -> Alcotest.fail "port grouping"
+
+let expect_parse_error src =
+  try
+    ignore (Parser.parse src);
+    Alcotest.failf "expected syntax error in %S" src
+  with Ast.Frontend_error (_, _) -> ()
+
+let test_parse_errors () =
+  expect_parse_error "module m(); begin x = 1; end";
+  expect_parse_error "module m(); begin if x then y := 1; end";
+  expect_parse_error "module m(); begin x := 1 end";
+  expect_parse_error "module (); begin end";
+  expect_parse_error "module m(input a: int<0>); begin end";
+  expect_parse_error "module m(); begin end trailing"
+
+(* ---- pretty / round trip ---- *)
+
+let rec strip_expr (e : Ast.expr) : Ast.expr =
+  let node =
+    match e.Ast.e with
+    | Ast.Ebin (op, a, b) -> Ast.Ebin (op, strip_expr a, strip_expr b)
+    | Ast.Eun (op, a) -> Ast.Eun (op, strip_expr a)
+    | n -> n
+  in
+  { Ast.e = node; epos = Ast.dummy_pos }
+
+let rec strip_stmt (s : Ast.stmt) : Ast.stmt =
+  let node =
+    match s.Ast.s with
+    | Ast.Sassign (v, e) -> Ast.Sassign (v, strip_expr e)
+    | Ast.Sif (c, a, b) ->
+        Ast.Sif (strip_expr c, List.map strip_stmt a, List.map strip_stmt b)
+    | Ast.Swhile (c, b) -> Ast.Swhile (strip_expr c, List.map strip_stmt b)
+    | Ast.Srepeat (b, c) -> Ast.Srepeat (List.map strip_stmt b, strip_expr c)
+    | Ast.Sfor (v, f, t, b) ->
+        Ast.Sfor (v, strip_expr f, strip_expr t, List.map strip_stmt b)
+    | Ast.Scall (name, args) -> Ast.Scall (name, List.map strip_expr args)
+  in
+  { Ast.s = node; spos = Ast.dummy_pos }
+
+let strip_proc (pr : Ast.proc_def) =
+  { pr with Ast.prbody = List.map strip_stmt pr.Ast.prbody }
+
+let strip (p : Ast.program) =
+  {
+    p with
+    Ast.body = List.map strip_stmt p.Ast.body;
+    Ast.procs = List.map strip_proc p.Ast.procs;
+  }
+
+let test_roundtrip_fixed () =
+  let p = Parser.parse small_module in
+  let p2 = Parser.parse (Pretty.program_to_string p) in
+  Alcotest.(check bool) "round trip" true (strip p = strip p2)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"pretty-print/parse round trip" ~count:200 Gen.program_arbitrary
+    (fun seed ->
+      let p = Gen.program_of_seed seed in
+      let p2 = Parser.parse (Pretty.program_to_string p) in
+      strip p = strip p2)
+
+(* ---- typecheck ---- *)
+
+let tc src = Typecheck.check (Parser.parse src)
+
+let expect_type_error src =
+  try
+    ignore (tc src);
+    Alcotest.failf "expected type error in %S" src
+  with Ast.Frontend_error (_, _) -> ()
+
+let test_typecheck_ok () =
+  let p = tc Hls_core.Workloads.sqrt_newton in
+  Alcotest.(check string) "name" "sqrt" p.Typed.tname;
+  (* literal adoption: 0.5 got the fix type *)
+  let p2 = tc "module m(input x: fix<4,4>; output y: fix<4,4>); begin y := x * 0.5; end" in
+  match p2.Typed.tbody with
+  | [ Typed.TSassign (_, { Typed.te = Typed.TEbin (Ast.Mul, _, r); _ }) ] ->
+      Alcotest.(check bool) "literal typed fix" true (r.Typed.ty = Ast.Tfix (4, 4))
+  | _ -> Alcotest.fail "shape"
+
+let test_typecheck_int_widths_join () =
+  let p =
+    tc
+      "module m(input a: int<4>; input b: int<8>; output y: int<8>); begin y := a + b; end"
+  in
+  match p.Typed.tbody with
+  | [ Typed.TSassign (_, e) ] ->
+      Alcotest.(check bool) "join" true (e.Typed.ty = Ast.Tint 8)
+  | _ -> Alcotest.fail "shape"
+
+let test_typecheck_errors () =
+  expect_type_error "module m(input a: int<4>); begin a := 1; end";
+  expect_type_error "module m(output y: int<4>); begin y := z; end";
+  expect_type_error
+    "module m(input a: fix<4,4>; input b: fix<2,6>; output y: fix<4,4>); begin y := a + b; end";
+  expect_type_error "module m(output y: int<4>); begin if y then y := 1; end; end";
+  expect_type_error "module m(output y: int<4>); begin y := 0.5; end";
+  expect_type_error "module m(output y: bool); begin y := true + false; end";
+  expect_type_error
+    "module m(input a: fix<4,4>; input s: fix<4,4>; output y: fix<4,4>); begin y := a << s; end";
+  expect_type_error
+    "module m(input a: fix<4,4>; output y: fix<4,4>); var f: fix<4,4>; begin for f := 0 to 3 do y := a; end; end";
+  expect_type_error "module m(input a: int<4>); var a: int<4>; begin end";
+  expect_type_error "module m(input a: fix<4,4>; output y: int<8>); begin y := a; end"
+
+(* ---- procedures and inline expansion ---- *)
+
+let proc_module =
+  {|
+module m(input a, b: int<16>; output y, z: int<16>);
+proc mac(input p, q: int<16>; output r: int<16>);
+var t: int<16>;
+begin
+  t := p * q;
+  r := t + p;
+end;
+proc twice_mac(input p: int<16>; output r: int<16>);
+begin
+  call mac(p, p, r);
+  call mac(r, p, r);
+end;
+begin
+  call mac(a, b, y);
+  call twice_mac(a + 1, z);
+end
+|}
+
+let test_proc_parse_roundtrip () =
+  let p = Parser.parse proc_module in
+  Alcotest.(check int) "two procs" 2 (List.length p.Ast.procs);
+  let p2 = Parser.parse (Pretty.program_to_string p) in
+  Alcotest.(check bool) "round trip" true (strip p = strip p2)
+
+let test_inline_expand () =
+  let p = Inline.expand (Parser.parse proc_module) in
+  Alcotest.(check int) "procs gone" 0 (List.length p.Ast.procs);
+  (* type checks after expansion, and computes the right values *)
+  let tp = Typecheck.check p in
+  let out = Hls_sim.Beh_sim.run tp ~inputs:[ ("a", 3); ("b", 4) ] in
+  (* mac(3,4,y): y = 3*4+3 = 15 *)
+  Alcotest.(check int) "y" 15 (List.assoc "y" out);
+  (* twice_mac(4,z): mac(4,4,z): z=4*4+4=20; mac(20,4,z): z=20*4+20=100 *)
+  Alcotest.(check int) "z" 100 (List.assoc "z" out)
+
+let test_inline_argument_evaluated_once () =
+  (* input actual is bound before the body: uses of the parameter see one
+     consistent value even if the body overwrites the source variable *)
+  let src =
+    {|
+module m(input a: int<16>; output y: int<16>);
+proc p(input v: int<16>; output r: int<16>);
+begin
+  r := v + v;
+end;
+begin
+  y := a;
+  call p(y + 1, y);
+end
+|}
+  in
+  let tp = Typecheck.check (Inline.expand (Parser.parse src)) in
+  let out = Hls_sim.Beh_sim.run tp ~inputs:[ ("a", 10) ] in
+  Alcotest.(check int) "y = (a+1)*2" 22 (List.assoc "y" out)
+
+let expect_inline_error src =
+  try
+    ignore (Inline.expand (Parser.parse src));
+    Alcotest.failf "expected inline error"
+  with Ast.Frontend_error (_, _) -> ()
+
+let test_inline_errors () =
+  (* unknown procedure *)
+  expect_inline_error
+    "module m(output y: int<8>); begin call nosuch(y); end";
+  (* arity *)
+  expect_inline_error
+    "module m(output y: int<8>); proc p(input a: int<8>); begin end; begin call p(1, 2); end";
+  (* output must be a variable *)
+  expect_inline_error
+    "module m(output y: int<8>); proc p(output r: int<8>); begin r := 1; end; begin call p(1 + 2); end";
+  (* recursion *)
+  expect_inline_error
+    "module m(output y: int<8>); proc p(output r: int<8>); begin call p(r); end; begin call p(y); end"
+
+let test_inline_through_flow () =
+  (* the whole synthesis flow accepts procedures *)
+  let d = Hls_core.Flow.synthesize proc_module in
+  match Hls_core.Flow.verify ~runs:10 d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "cosim: %s" e
+
+let prop_generated_programs_typecheck =
+  QCheck.Test.make ~name:"generated programs typecheck" ~count:200 Gen.program_arbitrary
+    (fun seed ->
+      ignore (Typecheck.check (Gen.program_of_seed seed));
+      true)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lex_basic;
+          Alcotest.test_case "operators" `Quick test_lex_operators;
+          Alcotest.test_case "keywords" `Quick test_lex_keywords_case_insensitive;
+          Alcotest.test_case "comments+positions" `Quick test_lex_comments_and_positions;
+          Alcotest.test_case "illegal char" `Quick test_lex_illegal;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "unary/parens" `Quick test_parse_unary_and_parens;
+          Alcotest.test_case "shift assoc" `Quick test_parse_shift_assoc;
+          Alcotest.test_case "module" `Quick test_parse_module;
+          Alcotest.test_case "port groups" `Quick test_parse_port_groups;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "round trip" `Quick test_roundtrip_fixed;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+      ( "inline",
+        [
+          Alcotest.test_case "parse+roundtrip" `Quick test_proc_parse_roundtrip;
+          Alcotest.test_case "expansion semantics" `Quick test_inline_expand;
+          Alcotest.test_case "argument bound once" `Quick test_inline_argument_evaluated_once;
+          Alcotest.test_case "errors" `Quick test_inline_errors;
+          Alcotest.test_case "flow end to end" `Quick test_inline_through_flow;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "accepts" `Quick test_typecheck_ok;
+          Alcotest.test_case "width join" `Quick test_typecheck_int_widths_join;
+          Alcotest.test_case "rejects" `Quick test_typecheck_errors;
+          QCheck_alcotest.to_alcotest prop_generated_programs_typecheck;
+        ] );
+    ]

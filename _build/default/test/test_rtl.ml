@@ -1,0 +1,146 @@
+(* RTL tests: component library and module binding, datapath
+   construction with netlist checks, wires, structural emission, and
+   area/latency estimation trends. *)
+
+open Hls_cdfg
+open Hls_core
+open Hls_rtl
+
+(* ---- component binding ---- *)
+
+let test_bind_cheapest () =
+  let c = Component.bind ~cls:Op.C_alu ~ops:[ Op.Add; Op.Sub; Op.Incr ] in
+  Alcotest.(check string) "add_sub suffices" "add_sub" c.Component.cname;
+  let c2 = Component.bind ~cls:Op.C_alu ~ops:[ Op.Add; Op.And ] in
+  Alcotest.(check string) "logic needs full alu" "alu" c2.Component.cname;
+  let c3 = Component.bind ~cls:Op.C_mul ~ops:[ Op.Mul ] in
+  Alcotest.(check string) "multiplier" "mult" c3.Component.cname;
+  let c4 = Component.bind ~cls:Op.C_div ~ops:[ Op.Div; Op.Mod ] in
+  Alcotest.(check string) "divider" "divider" c4.Component.cname
+
+let test_bind_failure () =
+  Alcotest.(check bool) "mul on alu fails" true
+    (try
+       ignore (Component.bind ~cls:Op.C_alu ~ops:[ Op.Mul ]);
+       false
+     with Not_found -> true)
+
+let test_area_scales_with_width () =
+  let c = Component.find "mult" in
+  Alcotest.(check bool) "wider is bigger" true
+    (Component.area c ~width:32 > Component.area c ~width:8)
+
+(* ---- wires ---- *)
+
+let test_wire_eval () =
+  let ty = Hls_lang.Ast.Tint 8 in
+  let w =
+    Wire.W_mux
+      ( Wire.W_zdetect (Wire.W_reg "a"),
+        Wire.W_shl (Wire.W_const (3, ty), 1, ty),
+        Wire.W_reg "b",
+        ty )
+  in
+  let reg = function "a" -> 0 | "b" -> 9 | _ -> assert false in
+  let fu _ = assert false in
+  Alcotest.(check int) "mux true path" 6 (Wire.eval w ~reg ~fu);
+  let reg2 = function "a" -> 5 | "b" -> 9 | _ -> assert false in
+  Alcotest.(check int) "mux false path" 9 (Wire.eval w ~reg:reg2 ~fu);
+  Alcotest.(check (list string)) "regs read" [ "a"; "b" ] (Wire.regs_read w);
+  Alcotest.(check bool) "mux adds delay" true (Wire.depth_delay_ns w > 0.0)
+
+(* ---- datapath + checks on every workload ---- *)
+
+let test_all_workloads_check () =
+  List.iter
+    (fun (name, src) ->
+      let d = Flow.synthesize src in
+      match Check.run d.Flow.datapath with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "%s: %s" name (String.concat "; " es))
+    Workloads.all
+
+let test_check_catches_double_booking () =
+  (* force two ops of the same class into one step with a 1-unit clique
+     allocation — impossible, so fabricate the defect directly *)
+  let d = Flow.synthesize Workloads.sqrt_newton in
+  let dp = d.Flow.datapath in
+  match dp.Datapath.activities with
+  | a :: rest ->
+      let clash = { a with Datapath.a_state = (List.hd rest).Datapath.a_state; a_fu = (List.hd rest).Datapath.a_fu } in
+      let broken = { dp with Datapath.activities = clash :: (List.hd rest) :: List.tl rest @ [ a ] } in
+      (match Check.run broken with
+      | Ok () -> Alcotest.fail "double booking not caught"
+      | Error _ -> ())
+  | [] -> Alcotest.fail "no activities"
+
+(* ---- emission ---- *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_emit_verilog () =
+  let d = Flow.synthesize Workloads.sqrt_newton in
+  let v = Emit.verilog ~name:"sqrt" d.Flow.datapath in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) fragment true (contains v fragment))
+    [ "module sqrt"; "endmodule"; "case (state)"; "posedge clk"; "assign done" ]
+
+let test_emit_dot () =
+  let d = Flow.synthesize Workloads.gcd in
+  let dot = Emit.dot d.Flow.datapath in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "has register node" true (contains dot "reg_")
+
+(* ---- estimation ---- *)
+
+let test_estimate_trends () =
+  let opts limits = { Flow.default_options with Flow.limits } in
+  let serial = Flow.synthesize ~options:(opts Hls_sched.Limits.Serial) Workloads.sqrt_newton in
+  let two = Flow.synthesize ~options:(opts Hls_sched.Limits.two_fu) Workloads.sqrt_newton in
+  Alcotest.(check bool) "two FUs faster" true
+    (two.Flow.estimate.Estimate.latency_ns < serial.Flow.estimate.Estimate.latency_ns);
+  List.iter
+    (fun (d : Flow.design) ->
+      let e = d.Flow.estimate in
+      Alcotest.(check bool) "areas positive" true
+        (e.Estimate.fu_area > 0 && e.Estimate.reg_area > 0 && e.Estimate.ctrl_area > 0);
+      Alcotest.(check int) "total is the sum"
+        (e.Estimate.fu_area + e.Estimate.reg_area + e.Estimate.mux_area + e.Estimate.ctrl_area)
+        e.Estimate.total_area;
+      Alcotest.(check bool) "cycle covers a unit delay" true (e.Estimate.cycle_ns > 10.0))
+    [ serial; two ]
+
+let test_estimate_row () =
+  let d = Flow.synthesize Workloads.gcd in
+  Alcotest.(check int) "row arity" 4 (List.length (Estimate.to_row d.Flow.estimate))
+
+let () =
+  Alcotest.run "rtl"
+    [
+      ( "component",
+        [
+          Alcotest.test_case "bind cheapest" `Quick test_bind_cheapest;
+          Alcotest.test_case "bind failure" `Quick test_bind_failure;
+          Alcotest.test_case "area scaling" `Quick test_area_scales_with_width;
+        ] );
+      ("wire", [ Alcotest.test_case "eval" `Quick test_wire_eval ]);
+      ( "datapath",
+        [
+          Alcotest.test_case "all workloads pass checks" `Quick test_all_workloads_check;
+          Alcotest.test_case "lint catches double booking" `Quick test_check_catches_double_booking;
+        ] );
+      ( "emit",
+        [
+          Alcotest.test_case "verilog" `Quick test_emit_verilog;
+          Alcotest.test_case "dot" `Quick test_emit_dot;
+        ] );
+      ( "estimate",
+        [
+          Alcotest.test_case "trends" `Quick test_estimate_trends;
+          Alcotest.test_case "report row" `Quick test_estimate_row;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Simulation tests: the behavioral interpreter's semantics, behavioral =
+   CDFG equivalence on random programs, RTL cycle accounting, and full
+   three-level co-simulation of every workload (the design-verification
+   experiment). *)
+
+open Hls_lang
+open Hls_core
+open Hls_sim
+
+let fix824 = Ast.Tfix (8, 24)
+
+(* ---- behavioral interpreter ---- *)
+
+let run_src src inputs =
+  Beh_sim.run (Typecheck.check (Parser.parse src)) ~inputs
+
+let test_beh_sqrt_accuracy () =
+  List.iter
+    (fun x ->
+      let out = run_src Workloads.sqrt_newton [ ("x", Beh_sim.to_raw fix824 x) ] in
+      let y = Beh_sim.of_raw fix824 (List.assoc "y" out) in
+      Alcotest.(check bool)
+        (Printf.sprintf "sqrt %f: %f vs %f" x y (sqrt x))
+        true
+        (abs_float (y -. sqrt x) < 1e-4))
+    [ 0.0625; 0.1; 0.25; 0.5; 0.9; 1.0 ]
+
+let test_beh_gcd () =
+  List.iter
+    (fun (a, b, g) ->
+      let out = run_src Workloads.gcd [ ("a_in", a); ("b_in", b) ] in
+      Alcotest.(check int) (Printf.sprintf "gcd %d %d" a b) g (List.assoc "g" out))
+    [ (12, 18, 6); (7, 7, 7); (35, 14, 7); (100, 75, 25); (17, 5, 1) ]
+
+let test_beh_wrap_semantics () =
+  let out =
+    run_src "module m(input a: int<4>; output y: int<4>); begin y := a + 1; end"
+      [ ("a", 7) ]
+  in
+  Alcotest.(check int) "int<4> overflow wraps" (-8) (List.assoc "y" out)
+
+let test_beh_division_by_zero () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (run_src "module m(input a: int<8>; output y: int<8>); begin y := 1 / a; end"
+            [ ("a", 0) ]);
+       false
+     with Beh_sim.Sim_error _ -> true)
+
+let test_beh_fuel () =
+  Alcotest.(check bool) "non-terminating loop trapped" true
+    (try
+       ignore
+         (Beh_sim.run ~fuel:1000
+            (Typecheck.check
+               (Parser.parse
+                  "module m(output y: int<8>); begin y := 0; while y = 0 do y := 0; end; end"))
+            ~inputs:[]);
+       false
+     with Beh_sim.Sim_error _ -> true)
+
+let test_beh_for_loop () =
+  let out =
+    run_src
+      "module m(output y: int<16>); var i: int<8>; begin y := 0; for i := 1 to 10 do y := y + i; end; end"
+      []
+  in
+  Alcotest.(check int) "sum 1..10" 55 (List.assoc "y" out)
+
+(* ---- behavioral = CDFG ---- *)
+
+let prop_beh_cfg_agree =
+  QCheck.Test.make ~name:"behavioral and CDFG interpreters agree" ~count:200
+    Gen.program_arbitrary
+    (fun seed ->
+      let prog = Typecheck.check (Gen.program_of_seed seed) in
+      let cfg = Hls_cdfg.Compile.compile prog in
+      let rng = Random.State.make [| seed * 3 |] in
+      List.for_all
+        (fun _ ->
+          let inputs =
+            [ ("a", Random.State.int rng 500); ("b", Random.State.int rng 500) ]
+          in
+          let r1 = Beh_sim.run prog ~inputs in
+          let r2 = Cfg_sim.run cfg ~inputs in
+          List.for_all
+            (fun p -> List.assoc_opt p r1 = List.assoc_opt p r2)
+            [ "o1"; "o2" ])
+        [ 1; 2; 3 ])
+
+(* ---- RTL cycle accounting ---- *)
+
+let test_rtl_cycles_sqrt () =
+  let d = Flow.synthesize Workloads.sqrt_newton in
+  let r = Rtl_sim.run d.Flow.datapath ~inputs:[ ("x", Beh_sim.to_raw fix824 0.5) ] in
+  (* 10 compute steps + 1 exit state *)
+  Alcotest.(check int) "cycles" 11 r.Rtl_sim.cycles
+
+let test_rtl_trace_matches_schedule () =
+  let d = Flow.synthesize Workloads.fir8 in
+  let r = Rtl_sim.run d.Flow.datapath ~inputs:[ ("x0", 100) ] in
+  Alcotest.(check int) "straight-line cycles = FSM states"
+    (Hls_sched.Cfg_sched.total_states d.Flow.sched)
+    r.Rtl_sim.cycles
+
+(* ---- VCD waveforms ---- *)
+
+let test_vcd_dump () =
+  let d = Flow.synthesize Workloads.sqrt_newton in
+  let text =
+    Vcd.dump d.Flow.datapath ~inputs:[ ("x", Beh_sim.to_raw fix824 0.25) ]
+  in
+  let contains needle =
+    let lh = String.length text and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub text i ln = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun fragment -> Alcotest.(check bool) fragment true (contains fragment))
+    [ "$timescale"; "$enddefinitions"; "$dumpvars"; " state $end"; " y $end"; "#11" ];
+  (* every non-empty line is well-formed: directive, timestamp, or a
+     binary value change *)
+  List.iter
+    (fun line ->
+      if line <> "" then
+        Alcotest.(check bool)
+          (Printf.sprintf "line %S" line)
+          true
+          (line.[0] = '$' || line.[0] = '#' || line.[0] = 'b'))
+    (String.split_on_char '
+' text)
+
+(* ---- cosim: the verification experiment ---- *)
+
+let test_cosim_all_workloads () =
+  List.iter
+    (fun (name, src) ->
+      let d = Flow.synthesize src in
+      match Cosim.check_random ~runs:8 (Flow.cosim_design d) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    Workloads.all
+
+let test_cosim_gate_level () =
+  List.iter
+    (fun name ->
+      let d = Flow.synthesize (Workloads.find name) in
+      match Cosim.check_random ~runs:4 ~gate_level_control:true (Flow.cosim_design d) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s (gate level): %s" name e)
+    [ "sqrt"; "gcd"; "fir8" ]
+
+let test_cosim_detects_mismatch () =
+  (* simulate against the wrong datapath: must be flagged *)
+  let d1 = Flow.synthesize Workloads.sqrt_newton in
+  let d2 =
+    Flow.synthesize
+      "module sqrt(input x: fix<8,24>; output y: fix<8,24>); begin y := x; end"
+  in
+  let franken =
+    { (Flow.cosim_design d1) with Cosim.d_datapath = d2.Flow.datapath }
+  in
+  match Cosim.check franken ~inputs:[ ("x", Beh_sim.to_raw fix824 0.5) ] with
+  | Ok _ -> Alcotest.fail "mismatch not detected"
+  | Error e -> Alcotest.(check bool) "names the output" true (String.length e > 0)
+
+let prop_random_programs_synthesize_and_cosim =
+  QCheck.Test.make ~name:"random programs synthesize and co-simulate" ~count:40
+    Gen.program_arbitrary
+    (fun seed ->
+      let prog = Gen.program_of_seed seed in
+      let d = Flow.synthesize_program prog in
+      match Cosim.check_random ~runs:3 ~seed (Flow.cosim_design d) with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "%s" e)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "behavioral",
+        [
+          Alcotest.test_case "sqrt accuracy" `Quick test_beh_sqrt_accuracy;
+          Alcotest.test_case "gcd" `Quick test_beh_gcd;
+          Alcotest.test_case "wraparound" `Quick test_beh_wrap_semantics;
+          Alcotest.test_case "division by zero" `Quick test_beh_division_by_zero;
+          Alcotest.test_case "fuel" `Quick test_beh_fuel;
+          Alcotest.test_case "for loop" `Quick test_beh_for_loop;
+        ] );
+      ("cdfg", [ QCheck_alcotest.to_alcotest prop_beh_cfg_agree ]);
+      ( "rtl",
+        [
+          Alcotest.test_case "sqrt cycle count" `Quick test_rtl_cycles_sqrt;
+          Alcotest.test_case "cycles = states (straight line)" `Quick test_rtl_trace_matches_schedule;
+        ] );
+      ("vcd", [ Alcotest.test_case "dump" `Quick test_vcd_dump ]);
+      ( "cosim",
+        [
+          Alcotest.test_case "all workloads" `Slow test_cosim_all_workloads;
+          Alcotest.test_case "gate-level control" `Quick test_cosim_gate_level;
+          Alcotest.test_case "detects mismatch" `Quick test_cosim_detects_mismatch;
+          QCheck_alcotest.to_alcotest prop_random_programs_synthesize_and_cosim;
+        ] );
+    ]
