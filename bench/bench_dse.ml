@@ -1,0 +1,178 @@
+(* DSE engine benchmark: the default scheduler × limits sweep (8 × 5 =
+   40 points) over the paper's differential-equation workload, run three
+   ways with fresh engines each iteration:
+
+     serial  — memoization off, calling domain only (every point pays
+               the full flow; equivalent to the pre-engine sweep loop)
+     memo/1  — layered cache on, calling domain only
+     memo/N  — layered cache on, N worker domains requested
+
+   Every iteration checks that all three modes produce identical designs
+   at every point before any time is reported. Results land in a JSON
+   file (hand-rolled writer/parser in Hls_util.Json); --validate reparses
+   an emitted file and checks its shape, which is what the @bench-smoke
+   alias runs. *)
+
+open Hls_core
+
+let src = Workloads.diffeq
+
+let signature (d : Flow.design) =
+  ( d.Flow.estimate.Hls_rtl.Estimate.total_area,
+    d.Flow.estimate.Hls_rtl.Estimate.latency_ns,
+    d.Flow.estimate.Hls_rtl.Estimate.cycle_ns,
+    d.Flow.estimate.Hls_rtl.Estimate.compute_steps,
+    Hls_alloc.Fu_alloc.n_units d.Flow.fu,
+    Hls_alloc.Reg_alloc.n_registers d.Flow.regs,
+    List.length d.Flow.transfers,
+    Hls_sched.Cfg_sched.digest d.Flow.sched )
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let median xs =
+  let a = List.sort compare xs in
+  List.nth a (List.length a / 2)
+
+let stage_obj entries =
+  Hls_util.Json.Obj
+    (List.map
+       (fun (e : Timing.entry) -> (e.Timing.stage, Hls_util.Json.Num (1e3 *. e.Timing.seconds)))
+       entries)
+
+let layer_obj (l : Dse.layer) =
+  Hls_util.Json.Obj
+    [ ("hits", Hls_util.Json.Num (float_of_int l.Dse.hits));
+      ("misses", Hls_util.Json.Num (float_of_int l.Dse.misses)) ]
+
+let run_bench ~iters ~jobs ~out =
+  let open Hls_util.Json in
+  let sweep ~memoize ~jobs () =
+    Explore.sweep ~jobs ~engine:(Dse.create ~memoize src) src
+  in
+  (* warm the code paths and allocator before anything is timed *)
+  if iters > 1 then ignore (sweep ~memoize:false ~jobs:1 ());
+  let serial_ms = ref [] and memo1_ms = ref [] and memon_ms = ref [] in
+  let stages_serial = ref [] and stages_memo = ref [] in
+  let cache = ref None in
+  let identical = ref true in
+  let points = ref 0 in
+  for _ = 1 to iters do
+    Timing.reset ();
+    let ps, t_serial = timed (sweep ~memoize:false ~jobs:1) in
+    stages_serial := Timing.snapshot ();
+    let p1, t_memo1 = timed (sweep ~memoize:true ~jobs:1) in
+    Timing.reset ();
+    let engine = Dse.create src in
+    let pn, t_memon = timed (fun () -> Explore.sweep ~jobs ~engine src) in
+    stages_memo := Timing.snapshot ();
+    cache := Some (Dse.stats engine);
+    points := List.length ps;
+    let sg l = List.map (fun p -> signature p.Explore.design) l in
+    if not (sg ps = sg p1 && sg p1 = sg pn) then identical := false;
+    serial_ms := (1e3 *. t_serial) :: !serial_ms;
+    memo1_ms := (1e3 *. t_memo1) :: !memo1_ms;
+    memon_ms := (1e3 *. t_memon) :: !memon_ms
+  done;
+  let runs xs = Obj [ ("median", Num (median xs)); ("runs", Arr (List.map (fun x -> Num x) xs)) ] in
+  (* paired speedup: ambient load drifts over the run, and a ratio of
+     medians can pair a quiet serial iteration against a loaded memoized
+     one; the median of per-iteration ratios compares runs that shared
+     the same ambient conditions *)
+  let paired_speedup memo = median (List.map2 ( /. ) !serial_ms memo) in
+  let cache_stats = Option.get !cache in
+  let json =
+    Obj
+      [
+        ("benchmark", Str "dse_sweep");
+        ("workload", Str "diffeq");
+        ("points", Num (float_of_int !points));
+        ("iters", Num (float_of_int iters));
+        ("jobs_requested", Num (float_of_int jobs));
+        ( "workers_used",
+          Num (float_of_int (min jobs (Domain.recommended_domain_count ()))) );
+        ("identical_designs", Bool !identical);
+        ("serial_ms", runs !serial_ms);
+        ("memo_jobs1_ms", runs !memo1_ms);
+        ("memo_jobsN_ms", runs !memon_ms);
+        ("speedup_memo_jobs1", Num (paired_speedup !memo1_ms));
+        ("speedup_memo_jobsN", Num (paired_speedup !memon_ms));
+        ( "cache",
+          Obj
+            [
+              ("frontend", layer_obj cache_stats.Dse.frontend);
+              ("midend", layer_obj cache_stats.Dse.midend);
+              ("schedule", layer_obj cache_stats.Dse.schedule);
+              ("backend", layer_obj cache_stats.Dse.backend);
+            ] );
+        ("stages_serial_ms", stage_obj !stages_serial);
+        ("stages_memo_ms", stage_obj !stages_memo);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (to_string json);
+  close_out oc;
+  Printf.printf "%s: %d points, serial %.1f ms, memo/1 %.1f ms (%.2fx), memo/%d %.1f ms (%.2fx), identical designs: %b\n"
+    out !points (median !serial_ms) (median !memo1_ms)
+    (paired_speedup !memo1_ms) jobs (median !memon_ms)
+    (paired_speedup !memon_ms) !identical;
+  if not !identical then exit 1
+
+let validate file =
+  let open Hls_util.Json in
+  let ic =
+    try open_in file
+    with Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match parse text with
+  | Error e ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file e;
+      exit 1
+  | Ok json ->
+      let fail msg =
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+      in
+      let num key =
+        match member key json with
+        | Some (Num v) -> v
+        | _ -> fail (Printf.sprintf "missing numeric field %S" key)
+      in
+      List.iter
+        (fun key -> ignore (num key))
+        [ "points"; "iters"; "jobs_requested"; "speedup_memo_jobs1"; "speedup_memo_jobsN" ];
+      (match member "identical_designs" json with
+      | Some (Bool true) -> ()
+      | Some (Bool false) -> fail "identical_designs is false"
+      | _ -> fail "missing identical_designs");
+      (match member "cache" json with
+      | Some (Obj _) -> ()
+      | _ -> fail "missing cache object");
+      if num "points" <= 0.0 then fail "no points";
+      Printf.printf "%s: valid (%.0f points, memo/N speedup %.2fx)\n" file (num "points")
+        (num "speedup_memo_jobsN")
+
+let () =
+  let iters = ref 5 and jobs = ref 4 and out = ref "BENCH_dse.json" in
+  let validate_file = ref None in
+  let spec =
+    [
+      ("--iters", Arg.Set_int iters, "N  timed iterations per mode (default 5)");
+      ("--jobs", Arg.Set_int jobs, "N  worker domains for the parallel mode (default 4)");
+      ("--out", Arg.Set_string out, "FILE  output path (default BENCH_dse.json)");
+      ( "--validate",
+        Arg.String (fun f -> validate_file := Some f),
+        "FILE  reparse an emitted result file and check its shape" );
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "bench_dse";
+  match !validate_file with
+  | Some f -> validate f
+  | None -> run_bench ~iters:!iters ~jobs:!jobs ~out:!out

@@ -227,8 +227,27 @@ let run_cmd =
 
 (* ---- explore ---- *)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Evaluate sweep points on N worker domains (clamped to the \
+           hardware's recommended domain count).")
+
+let all_flag =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:"Sweep the full scheduler \\$(i,\\times) limits cross product instead of limits only.")
+
+let timings_flag =
+  Arg.(
+    value & flag
+    & info [ "timings" ] ~doc:"Append the per-stage wall-clock breakdown to the table.")
+
 let explore_cmd =
-  let run file example opt_level if_conv scheduler allocator encoding =
+  let run file example opt_level if_conv scheduler allocator encoding jobs all timings =
     match read_source file example with
     | Error e ->
         Printf.eprintf "error: %s\n" e;
@@ -236,14 +255,23 @@ let explore_cmd =
     | Ok src ->
         handle_errors (fun () ->
             let base = make_options opt_level if_conv scheduler 2 allocator encoding in
-            let points = Explore.sweep_limits ~base src in
-            print_string (Explore.table points))
+            Timing.reset ();
+            let points =
+              if all then Explore.sweep ~jobs ~base src
+              else Explore.sweep_limits ~jobs ~base src
+            in
+            print_string (Explore.table ~timings points))
   in
-  let info = Cmd.info "explore" ~doc:"Sweep resource limits; print the trade-off table." in
+  let info =
+    Cmd.info "explore"
+      ~doc:
+        "Sweep resource limits (or, with $(b,--all), the scheduler \\$(i,\\times) limits \
+         cross product) through the memoized DSE engine; print the trade-off table."
+  in
   Cmd.v info
     Term.(
       const run $ source_file $ example $ opt_level $ if_convert_flag $ scheduler
-      $ allocator $ encoding)
+      $ allocator $ encoding $ jobs_arg $ all_flag $ timings_flag)
 
 (* ---- examples ---- *)
 

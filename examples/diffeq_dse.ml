@@ -3,19 +3,34 @@
    the Pareto front — the "ability to search the design space" of
    section 1.2.
 
+   Both sweeps run through one shared DSE engine, so the second sweep
+   reuses the first's frontend/midend (and any coinciding schedules and
+   backends) from the cache, on worker domains when the hardware has
+   them ([-j N] to override).
+
      dune exec examples/diffeq_dse.exe *)
 
 open Hls_core
 
+let jobs =
+  let rec find = function
+    | "-j" :: n :: _ -> ( try int_of_string n with _ -> 4)
+    | _ :: rest -> find rest
+    | [] -> 4
+  in
+  find (Array.to_list Sys.argv)
+
 let () =
   let src = Workloads.diffeq in
+  let engine = Dse.create src in
+  Timing.reset ();
   print_endline "== resource-limit sweep (list scheduling) ==";
-  let by_limits = Explore.sweep_limits src in
+  let by_limits = Explore.sweep_limits ~jobs ~engine src in
   print_string (Explore.table by_limits);
 
   print_endline "\n== scheduler sweep (two functional units) ==";
-  let by_sched = Explore.sweep_schedulers src in
-  print_string (Explore.table by_sched);
+  let by_sched = Explore.sweep_schedulers ~jobs ~engine src in
+  print_string (Explore.table ~timings:true by_sched);
 
   print_endline "\n== Pareto frontier over both sweeps ==";
   let front = Explore.pareto (by_limits @ by_sched) in
@@ -24,6 +39,9 @@ let () =
       Printf.printf "  %-28s area %6d  latency %6.0f ns\n" p.Explore.label
         p.Explore.area p.Explore.latency_ns)
     front;
+
+  print_endline "\n== engine cache ==";
+  Format.printf "%a" Dse.pp_stats (Dse.stats engine);
 
   (* every explored design still computes the right answer *)
   let bad = ref 0 in

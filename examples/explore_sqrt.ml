@@ -51,7 +51,8 @@ let () =
   write "sqrt_fsm.dot" (Hls_ctrl.Fsm.to_dot design.Flow.datapath.Hls_rtl.Datapath.fsm);
 
   print_newline ();
-  print_string (Explore.table (Explore.sweep_limits src));
+  Timing.reset ();
+  print_string (Explore.table ~timings:true (Explore.sweep_limits ~jobs:4 src));
   print_newline ();
   match Flow.verify ~runs:20 design with
   | Ok () -> print_endline "co-simulation: 20 random vectors agree across all levels"

@@ -13,7 +13,17 @@ val partition : n:int -> compatible:(int -> int -> bool) -> int list list
 (** Groups of mutually compatible elements covering [0 .. n-1]; each
     group's members are ascending, groups ordered by smallest member.
     Every pair within a group satisfies [compatible] (the predicate must
-    be symmetric and irreflexive-agnostic; self-pairs are never asked). *)
+    be symmetric and irreflexive-agnostic; self-pairs are never asked).
+
+    Group compatibility is tracked on a [Bytes]-backed bitset adjacency
+    matrix with incrementally maintained common-neighbor scores, so each
+    merge round costs O(groups²) bit probes instead of re-walking member
+    lists. [compatible] is consulted exactly once per unordered pair. *)
+
+val partition_reference : n:int -> compatible:(int -> int -> bool) -> int list list
+(** The seed list-of-lists implementation. Produces exactly the same
+    partition as {!partition} (merge and tie-break order replicated);
+    kept as the oracle for differential tests and benchmark baselines. *)
 
 val max_clique_lower_bound : n:int -> compatible:(int -> int -> bool) -> int
 (** Size of the largest {e incompatibility} clique found greedily — a

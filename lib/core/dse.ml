@@ -1,0 +1,171 @@
+open Hls_lang
+open Hls_sched
+
+(* Memo layers, outermost first. Each key is exactly the set of option
+   fields the stage's result depends on:
+
+   frontend  ()                                            — per engine
+   midend    (opt_level, if_conversion)
+   schedule  midend key + (scheduler, canonical limits)
+   backend   midend key + (schedule digest, allocator,
+                           share_variables, encoding)
+
+   The schedule layer canonicalizes the limits to [Unlimited] for
+   schedulers that ignore them (see {!Flow.scheduler_ignores_limits}),
+   so e.g. force-directed runs once across a whole limits sweep. The
+   backend layer keys on the schedule's {e content} rather than on the
+   scheduler that produced it: two option points whose schedulers place
+   every operation identically share one allocation/binding/control
+   synthesis, and the cached design is rewrapped with the point's own
+   options. *)
+
+type mkey = [ `None | `Standard | `Aggressive ] * bool
+type skey = mkey * Flow.scheduler * Limits.t
+
+type bkey =
+  mkey
+  * string (* Cfg_sched.digest *)
+  * [ `Clique | `Greedy_min_mux | `Greedy_first_fit ]
+  * bool
+  * Hls_ctrl.Encoding.style
+
+type layer = { hits : int; misses : int }
+type stats = { frontend : layer; midend : layer; schedule : layer; backend : layer }
+
+type counter = { mutable c_hits : int; mutable c_misses : int }
+
+type t = {
+  lock : Mutex.t;
+  memoize : bool;
+  source : [ `Src of string | `Ast of Ast.program ];
+  front : (unit, Flow.compiled) Hashtbl.t;
+  mid : (mkey, Flow.optimized) Hashtbl.t;
+  scheds : (skey, Cfg_sched.t) Hashtbl.t;
+  backs : (bkey, Flow.design) Hashtbl.t;
+  n_front : counter;
+  n_mid : counter;
+  n_sched : counter;
+  n_back : counter;
+}
+
+let make_engine memoize source =
+  {
+    lock = Mutex.create ();
+    memoize;
+    source;
+    front = Hashtbl.create 1;
+    mid = Hashtbl.create 8;
+    scheds = Hashtbl.create 64;
+    backs = Hashtbl.create 64;
+    n_front = { c_hits = 0; c_misses = 0 };
+    n_mid = { c_hits = 0; c_misses = 0 };
+    n_sched = { c_hits = 0; c_misses = 0 };
+    n_back = { c_hits = 0; c_misses = 0 };
+  }
+
+let create ?(memoize = true) src = make_engine memoize (`Src src)
+let create_program ?(memoize = true) ast = make_engine memoize (`Ast ast)
+
+let clear t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.front;
+  Hashtbl.reset t.mid;
+  Hashtbl.reset t.scheds;
+  Hashtbl.reset t.backs;
+  List.iter
+    (fun c ->
+      c.c_hits <- 0;
+      c.c_misses <- 0)
+    [ t.n_front; t.n_mid; t.n_sched; t.n_back ];
+  Mutex.unlock t.lock
+
+let stats t =
+  Mutex.lock t.lock;
+  let layer c = { hits = c.c_hits; misses = c.c_misses } in
+  let s =
+    {
+      frontend = layer t.n_front;
+      midend = layer t.n_mid;
+      schedule = layer t.n_sched;
+      backend = layer t.n_back;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let pp_stats ppf s =
+  let line name l = Format.fprintf ppf "%-9s %4d hits %4d misses@." name l.hits l.misses in
+  line "frontend" s.frontend;
+  line "midend" s.midend;
+  line "schedule" s.schedule;
+  line "backend" s.backend
+
+(* Check under the lock; compute unlocked (two workers racing on the
+   same key may duplicate work, but stage results are pure functions of
+   their keys, so whichever insert lands first is equivalent) — the
+   first writer wins and later computations adopt the stored value to
+   maximize sharing. *)
+let memo t ctr tbl key compute =
+  if not t.memoize then begin
+    Mutex.lock t.lock;
+    ctr.c_misses <- ctr.c_misses + 1;
+    Mutex.unlock t.lock;
+    compute ()
+  end
+  else begin
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt tbl key with
+    | Some v ->
+        ctr.c_hits <- ctr.c_hits + 1;
+        Mutex.unlock t.lock;
+        v
+    | None ->
+        ctr.c_misses <- ctr.c_misses + 1;
+        Mutex.unlock t.lock;
+        let v = compute () in
+        Mutex.lock t.lock;
+        let v =
+          match Hashtbl.find_opt tbl key with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.add tbl key v;
+              v
+        in
+        Mutex.unlock t.lock;
+        v
+  end
+
+let eval t (options : Flow.options) =
+  let c =
+    memo t t.n_front t.front () (fun () ->
+        match t.source with
+        | `Src s -> Flow.frontend s
+        | `Ast a -> Flow.frontend_program a)
+  in
+  let mkey = (options.opt_level, options.if_conversion) in
+  let o =
+    memo t t.n_mid t.mid mkey (fun () ->
+        Flow.midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion c)
+  in
+  let canonical_limits =
+    if Flow.scheduler_ignores_limits options.scheduler then Limits.Unlimited
+    else options.limits
+  in
+  let skey = (mkey, options.scheduler, canonical_limits) in
+  let sched = memo t t.n_sched t.scheds skey (fun () -> Flow.schedule options o) in
+  let bkey =
+    ( mkey,
+      Cfg_sched.digest sched,
+      options.allocator,
+      options.share_variables,
+      options.encoding )
+  in
+  let d = memo t t.n_back t.backs bkey (fun () -> Flow.complete options o ~sched) in
+  { d with Flow.options }
+
+let run ?(jobs = 1) t options_list =
+  (* oversubscribing domains past the hardware buys nothing and costs
+     stop-the-world minor-GC synchronization; clamp to what the runtime
+     says can actually run in parallel *)
+  let jobs = min jobs (Domain.recommended_domain_count ()) in
+  Hls_util.Pool.map ~jobs (eval t) options_list

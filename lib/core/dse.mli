@@ -1,0 +1,61 @@
+(** Parallel, memoized design-space exploration engine.
+
+    An engine wraps one behavioral source and evaluates {!Flow.options}
+    points against it, sharing work between points through a layered
+    content-keyed cache over the staged flow:
+
+    - {e frontend} (parse/inline/typecheck) runs once per engine;
+    - {e midend} (CFG build + optimization) once per
+      [(opt_level, if_conversion)];
+    - {e schedule} once per midend key + [(scheduler, limits)], with
+      the limits canonicalized away for schedulers that ignore them
+      ({!Flow.scheduler_ignores_limits});
+    - {e backend} (allocate/bind/control/estimate) once per midend key
+      + schedule {e content} digest + [(allocator, share_variables,
+      encoding)] — points whose schedulers happen to place every
+      operation identically share one backend run.
+
+    {!run} evaluates a point list on a {!Hls_util.Pool} of worker
+    domains. Results are returned in input order and are identical for
+    any [jobs] value: every stage is a deterministic pure function of
+    its cache key, so racing workers can at worst duplicate work, never
+    change a result (first writer wins; later workers adopt the stored
+    value). An engine may be reused across calls — the cache carries
+    over, which is the point. *)
+
+open Hls_lang
+
+type t
+
+val create : ?memoize:bool -> string -> t
+(** Engine over BSL source text. [memoize:false] disables every cache
+    layer (each point pays the full flow) — the serial baseline used
+    by the DSE benchmark. Default [true]. *)
+
+val create_program : ?memoize:bool -> Ast.program -> t
+(** Engine over an already-parsed program. *)
+
+val eval : t -> Flow.options -> Flow.design
+(** Evaluate one option point through the cache. The returned design
+    carries exactly the options given (a backend cache hit is rewrapped).
+    Raises as {!Flow.synthesize} does. *)
+
+val run : ?jobs:int -> t -> Flow.options list -> Flow.design list
+(** Evaluate the points on [jobs] worker domains ([<= 1] stays on the
+    calling domain); results in input order. [jobs] is clamped to
+    [Domain.recommended_domain_count ()] — domains beyond the
+    hardware's parallelism only contend on the runtime's stop-the-world
+    collector. Use {!Hls_util.Pool.map} directly to force a worker
+    count. *)
+
+type layer = { hits : int; misses : int }
+type stats = { frontend : layer; midend : layer; schedule : layer; backend : layer }
+
+val stats : t -> stats
+(** Cache hit/miss counters per layer since creation (or {!clear}).
+    Under concurrent runs, racing misses on one key are each counted. *)
+
+val clear : t -> unit
+(** Drop all cached stage results and zero the counters. *)
+
+val pp_stats : Format.formatter -> stats -> unit

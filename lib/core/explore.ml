@@ -18,6 +18,10 @@ let default_limits =
     Limits.Classes [ (Hls_cdfg.Op.C_alu, 1); (Hls_cdfg.Op.C_mul, 1); (Hls_cdfg.Op.C_div, 1) ];
   ]
 
+let default_schedulers =
+  [ Flow.Asap; Flow.List_path; Flow.List_mobility; Flow.Freedom; Flow.Branch_bound;
+    Flow.Ilp_exact; Flow.Trans_parallel; Flow.Trans_serial ]
+
 let point_of label options design =
   {
     label;
@@ -27,25 +31,35 @@ let point_of label options design =
     latency_ns = design.Flow.estimate.Hls_rtl.Estimate.latency_ns;
   }
 
-let sweep_limits ?(base = Flow.default_options) ?(limits = default_limits) src =
-  List.map
-    (fun l ->
-      let options = { base with Flow.limits = l } in
-      let design = Flow.synthesize ~options src in
-      point_of (Limits.to_string l) options design)
-    limits
+(* evaluate labelled option points through a (possibly shared) engine *)
+let run_points ~jobs ~engine src labelled =
+  let engine = match engine with Some e -> e | None -> Dse.create src in
+  let designs = Dse.run ~jobs engine (List.map snd labelled) in
+  List.map2 (fun (label, options) d -> point_of label options d) labelled designs
 
-let default_schedulers =
-  [ Flow.Asap; Flow.List_path; Flow.List_mobility; Flow.Freedom; Flow.Branch_bound;
-    Flow.Ilp_exact; Flow.Trans_parallel; Flow.Trans_serial ]
+let sweep_limits ?(jobs = 1) ?engine ?(base = Flow.default_options)
+    ?(limits = default_limits) src =
+  run_points ~jobs ~engine src
+    (List.map (fun l -> (Limits.to_string l, { base with Flow.limits = l })) limits)
 
-let sweep_schedulers ?(base = Flow.default_options) ?(schedulers = default_schedulers) src =
-  List.map
-    (fun s ->
-      let options = { base with Flow.scheduler = s } in
-      let design = Flow.synthesize ~options src in
-      point_of (Flow.scheduler_to_string s) options design)
-    schedulers
+let sweep_schedulers ?(jobs = 1) ?engine ?(base = Flow.default_options)
+    ?(schedulers = default_schedulers) src =
+  run_points ~jobs ~engine src
+    (List.map
+       (fun s -> (Flow.scheduler_to_string s, { base with Flow.scheduler = s }))
+       schedulers)
+
+let sweep ?(jobs = 1) ?engine ?(base = Flow.default_options)
+    ?(schedulers = default_schedulers) ?(limits = default_limits) src =
+  run_points ~jobs ~engine src
+    (List.concat_map
+       (fun s ->
+         List.map
+           (fun l ->
+             ( Flow.scheduler_to_string s ^ " @ " ^ Limits.to_string l,
+               { base with Flow.scheduler = s; Flow.limits = l } ))
+           limits)
+       schedulers)
 
 let dominates a b =
   (a.area <= b.area && a.latency_ns < b.latency_ns)
@@ -55,8 +69,11 @@ let pareto points =
   List.filter (fun p -> not (List.exists (fun q -> dominates q p) points)) points
   |> List.sort (fun a b -> compare a.area b.area)
 
-let table points =
-  let front = pareto points in
+let table ?(timings = false) points =
+  (* frontier membership by the dominance criterion itself, not by
+     physical identity of the point record — cached/rewrapped designs
+     make physical equality meaningless *)
+  let on_front p = not (List.exists (fun q -> dominates q p) points) in
   let t =
     Table.create ~headers:[ "design"; "FUs"; "steps"; "area"; "latency(ns)"; "pareto" ]
   in
@@ -69,7 +86,10 @@ let table points =
           string_of_int p.design.Flow.estimate.Hls_rtl.Estimate.compute_steps;
           string_of_int p.area;
           Printf.sprintf "%.0f" p.latency_ns;
-          (if List.memq p front then "*" else "");
+          (if on_front p then "*" else "");
         ])
     points;
-  Table.render t
+  let body = Table.render t in
+  if timings then
+    body ^ Format.asprintf "@.stage timings:@.%a" Timing.pp (Timing.snapshot ())
+  else body

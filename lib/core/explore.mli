@@ -2,9 +2,13 @@
     several designs for the same specification in a reasonable amount of
     time [to] explore different trade-offs between cost, speed, power".
 
-    Sweeps resource limits (and optionally schedulers) over one
+    Sweeps resource limits, schedulers, or their cross product over one
     specification, estimates each design, and reports the area/latency
-    Pareto frontier. *)
+    Pareto frontier. Sweeps are evaluated through a {!Dse} engine —
+    memoized and optionally on [jobs] worker domains — and return
+    points in sweep order regardless of [jobs]. Pass [engine] to share
+    one cache across several sweeps of the same source (the engine's
+    own source is used; it must wrap the same specification). *)
 
 type point = {
   label : string;
@@ -14,17 +18,45 @@ type point = {
   latency_ns : float;
 }
 
+val default_limits : Hls_sched.Limits.t list
+(** Serial, 2, 3 and 4 general units, and a 1-ALU/1-mul/1-div split. *)
+
+val default_schedulers : Flow.scheduler list
+
 val sweep_limits :
-  ?base:Flow.options -> ?limits:Hls_sched.Limits.t list -> string -> point list
-(** Synthesize the BSL source under each resource limit (default: serial,
-    2, 3 and 4 general units, and a 1-ALU/1-multiplier/1-divider split). *)
+  ?jobs:int ->
+  ?engine:Dse.t ->
+  ?base:Flow.options ->
+  ?limits:Hls_sched.Limits.t list ->
+  string ->
+  point list
+(** Synthesize the BSL source under each resource limit. *)
 
 val sweep_schedulers :
-  ?base:Flow.options -> ?schedulers:Flow.scheduler list -> string -> point list
+  ?jobs:int ->
+  ?engine:Dse.t ->
+  ?base:Flow.options ->
+  ?schedulers:Flow.scheduler list ->
+  string ->
+  point list
+
+val sweep :
+  ?jobs:int ->
+  ?engine:Dse.t ->
+  ?base:Flow.options ->
+  ?schedulers:Flow.scheduler list ->
+  ?limits:Hls_sched.Limits.t list ->
+  string ->
+  point list
+(** Full scheduler × limits cross product (default 8 × 5 = 40 points),
+    labelled ["scheduler @ limits"]. *)
 
 val pareto : point list -> point list
 (** Points not dominated in (area, latency), sorted by area. *)
 
-val table : point list -> string
+val table : ?timings:bool -> point list -> string
 (** Rendered comparison table (label, FUs, steps, area, latency, Pareto
-    marker). *)
+    marker). Frontier membership is decided by the dominance criterion
+    (structural), so points coming from a shared design cache are marked
+    correctly. [timings:true] appends the {!Timing.snapshot} per-stage
+    breakdown accumulated so far. *)

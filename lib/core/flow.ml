@@ -95,55 +95,103 @@ let block_scheduler options dfg =
   | Trans_parallel -> Hls_sched.Transformational.from_parallel ~limits:options.limits dfg
   | Trans_serial -> Hls_sched.Transformational.from_serial ~limits:options.limits dfg
 
-let synthesize_program ?(options = default_options) ast =
-  let prog = Typecheck.check (Inline.expand ast) in
-  let cfg0 = Hls_cdfg.Compile.compile prog in
-  let outputs = output_names prog in
-  let cfg = Hls_transform.Passes.optimize ~level:options.opt_level ~outputs cfg0 in
-  let cfg =
-    if options.if_conversion then begin
-      let cfg, changed = Hls_transform.If_convert.run cfg in
-      if changed then
-        Hls_transform.Passes.optimize ~level:options.opt_level ~outputs
-          (fst (Hls_transform.Clean_cfg.merge cfg))
-      else cfg
-    end
-    else cfg
-  in
-  let sched = Cfg_sched.make cfg ~scheduler:(block_scheduler options) in
-  (* time-constrained schedulers ignore the resource limits; verify the
-     dependence half for them and the full contract otherwise *)
-  let verify_limits =
-    match options.scheduler with
-    | Force_directed _ | Freedom -> Limits.Unlimited
-    | _ -> options.limits
-  in
-  (match Cfg_sched.verify verify_limits sched with
-  | Ok () -> ()
-  | Error e -> invalid_arg (Printf.sprintf "Flow: scheduler produced invalid schedule: %s" e));
-  let fu =
-    match options.allocator with
-    | `Clique -> Hls_alloc.Fu_alloc.by_clique sched
-    | `Greedy_min_mux -> Hls_alloc.Fu_alloc.greedy ~selection:`Min_mux sched
-    | `Greedy_first_fit -> Hls_alloc.Fu_alloc.greedy ~selection:`First_fit sched
-  in
-  let port_names = List.map (fun (n, _, _) -> n) (ports_of prog) in
-  let regs =
-    Hls_alloc.Reg_alloc.run ~share_variables:options.share_variables ~ports:port_names
-      ~outputs sched
-  in
-  let transfers = Hls_alloc.Interconnect.transfers sched ~fu ~regs in
-  let datapath = Hls_rtl.Datapath.build sched ~fu ~regs ~ports:(ports_of prog) in
-  (match Hls_rtl.Check.run datapath with
-  | Ok () -> ()
-  | Error es ->
-      failwith
-        (Printf.sprintf "Flow: datapath checks failed: %s" (String.concat "; " es)));
-  let controller = Hls_ctrl.Ctrl_synth.synthesize ~style:options.encoding datapath.Hls_rtl.Datapath.fsm in
-  let estimate = Hls_rtl.Estimate.estimate ~style:options.encoding datapath sched in
-  { options; prog; cfg; sched; fu; regs; transfers; datapath; controller; estimate }
+(* ---- staged pipeline ------------------------------------------------ *)
 
-let synthesize ?options src = synthesize_program ?options (Parser.parse src)
+type compiled = { c_ast : Ast.program; c_prog : Typed.tprogram }
+type optimized = { o_prog : Typed.tprogram; o_cfg : Hls_cdfg.Cfg.t; o_outputs : string list }
+
+let front ast = { c_ast = ast; c_prog = Typecheck.check (Inline.expand ast) }
+let frontend_program ast = Timing.time "frontend" (fun () -> front ast)
+let frontend src = Timing.time "frontend" (fun () -> front (Parser.parse src))
+
+let midend ~opt_level ~if_conversion c =
+  Timing.time "midend" (fun () ->
+      let prog = c.c_prog in
+      let cfg0 = Hls_cdfg.Compile.compile prog in
+      let outputs = output_names prog in
+      let cfg = Hls_transform.Passes.optimize ~level:opt_level ~outputs cfg0 in
+      let cfg =
+        if if_conversion then begin
+          let cfg, changed = Hls_transform.If_convert.run cfg in
+          if changed then
+            Hls_transform.Passes.optimize ~level:opt_level ~outputs
+              (fst (Hls_transform.Clean_cfg.merge cfg))
+          else cfg
+        end
+        else cfg
+      in
+      { o_prog = prog; o_cfg = cfg; o_outputs = outputs })
+
+(* time-constrained schedulers derive their own deadline and pay no
+   attention to the resource limits in the options *)
+let scheduler_ignores_limits = function
+  | Force_directed _ | Freedom -> true
+  | _ -> false
+
+let schedule options o =
+  Timing.time "schedule" (fun () ->
+      let sched = Cfg_sched.make o.o_cfg ~scheduler:(block_scheduler options) in
+      (* for limit-ignoring schedulers verify only the dependence half of
+         the contract, the full contract otherwise *)
+      let verify_limits =
+        if scheduler_ignores_limits options.scheduler then Limits.Unlimited
+        else options.limits
+      in
+      (match Cfg_sched.verify verify_limits sched with
+      | Ok () -> ()
+      | Error e ->
+          invalid_arg (Printf.sprintf "Flow: scheduler produced invalid schedule: %s" e));
+      sched)
+
+let complete options o ~sched =
+  let prog = o.o_prog in
+  let fu, regs, transfers =
+    Timing.time "allocate" (fun () ->
+        let fu =
+          match options.allocator with
+          | `Clique -> Hls_alloc.Fu_alloc.by_clique sched
+          | `Greedy_min_mux -> Hls_alloc.Fu_alloc.greedy ~selection:`Min_mux sched
+          | `Greedy_first_fit -> Hls_alloc.Fu_alloc.greedy ~selection:`First_fit sched
+        in
+        let port_names = List.map (fun (n, _, _) -> n) (ports_of prog) in
+        let regs =
+          Hls_alloc.Reg_alloc.run ~share_variables:options.share_variables
+            ~ports:port_names ~outputs:o.o_outputs sched
+        in
+        let transfers = Hls_alloc.Interconnect.transfers sched ~fu ~regs in
+        (fu, regs, transfers))
+  in
+  let datapath =
+    Timing.time "bind" (fun () ->
+        let datapath = Hls_rtl.Datapath.build sched ~fu ~regs ~ports:(ports_of prog) in
+        (match Hls_rtl.Check.run datapath with
+        | Ok () -> ()
+        | Error es ->
+            failwith
+              (Printf.sprintf "Flow: datapath checks failed: %s" (String.concat "; " es)));
+        datapath)
+  in
+  let controller =
+    Timing.time "control" (fun () ->
+        Hls_ctrl.Ctrl_synth.synthesize ~style:options.encoding datapath.Hls_rtl.Datapath.fsm)
+  in
+  let estimate =
+    Timing.time "estimate" (fun () ->
+        Hls_rtl.Estimate.estimate ~style:options.encoding ~ctrl:controller datapath sched)
+  in
+  { options; prog; cfg = o.o_cfg; sched; fu; regs; transfers; datapath; controller; estimate }
+
+let backend options o = complete options o ~sched:(schedule options o)
+
+let synthesize_program ?(options = default_options) ast =
+  backend options
+    (midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion
+       (frontend_program ast))
+
+let synthesize ?(options = default_options) src =
+  backend options
+    (midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion
+       (frontend src))
 
 let cosim_design d =
   {

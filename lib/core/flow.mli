@@ -46,8 +46,60 @@ type design = {
   estimate : Hls_rtl.Estimate.t;
 }
 
+(** {2 Staged pipeline}
+
+    The flow is exposed as reusable stages so the DSE engine can share
+    work between option points: the frontend result depends only on the
+    source, the midend result only on [(source, opt_level,
+    if_conversion)], and the schedule only additionally on [(scheduler,
+    limits)] — everything downstream of a stage is a pure function of
+    that stage's output plus the remaining option fields. Each stage is
+    wrapped in a {!Timing} accumulator ([frontend], [midend],
+    [schedule], [allocate], [bind], [control], [estimate]). *)
+
+type compiled = { c_ast : Ast.program; c_prog : Typed.tprogram }
+type optimized = { o_prog : Typed.tprogram; o_cfg : Hls_cdfg.Cfg.t; o_outputs : string list }
+
+val frontend : string -> compiled
+(** Parse, inline-expand and typecheck BSL source. Raises
+    {!Ast.Frontend_error} on bad input. *)
+
+val frontend_program : Ast.program -> compiled
+(** As {!frontend}, starting from an already-parsed program. *)
+
+val midend :
+  opt_level:[ `None | `Standard | `Aggressive ] ->
+  if_conversion:bool ->
+  compiled ->
+  optimized
+(** Build the CFG and run the optimization passes (plus optional
+    if-conversion with re-optimization). Compiles a fresh CFG each
+    call — passes mutate in place — so distinct [optimized] values
+    never alias; the result is only ever read downstream and may be
+    shared across worker domains. *)
+
+val schedule : options -> optimized -> Cfg_sched.t
+(** Schedule every block with [options.scheduler] under
+    [options.limits], and verify the result (dependences always;
+    limits too unless {!scheduler_ignores_limits}). Raises
+    [Invalid_argument] if the scheduler breaks its contract. *)
+
+val complete : options -> optimized -> sched:Cfg_sched.t -> design
+(** Allocation, binding, control synthesis and estimation on top of an
+    existing schedule. Raises [Failure] if the produced datapath fails
+    the structural netlist checks. *)
+
+val backend : options -> optimized -> design
+(** [schedule] then [complete]. *)
+
+val scheduler_ignores_limits : scheduler -> bool
+(** Time-constrained schedulers ([Force_directed], [Freedom]) derive
+    their own deadline and ignore [options.limits]; their schedules are
+    verified (and may be cached) independently of the limits. *)
+
 val synthesize_program : ?options:options -> Ast.program -> design
-(** Raises {!Ast.Frontend_error} on bad input, [Invalid_argument] if an
+(** The full flow: [frontend_program] → [midend] → [backend]. Raises
+    {!Ast.Frontend_error} on bad input, [Invalid_argument] if an
     internal consistency check fails, and [Failure] if the produced
     datapath fails the structural netlist checks. *)
 

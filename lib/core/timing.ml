@@ -1,0 +1,46 @@
+(* Wall-clock accumulators per named flow stage. A single global table
+   guarded by a mutex: worker domains running backend stages in parallel
+   all report into the same breakdown. *)
+
+type entry = { stage : string; seconds : float; calls : int }
+
+let lock = Mutex.create ()
+let table : (string, float * int) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  order := [];
+  Mutex.unlock lock
+
+let record stage seconds =
+  Mutex.lock lock;
+  (match Hashtbl.find_opt table stage with
+  | Some (s, c) -> Hashtbl.replace table stage (s +. seconds, c + 1)
+  | None ->
+      Hashtbl.add table stage (seconds, 1);
+      order := stage :: !order);
+  Mutex.unlock lock
+
+let time stage f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record stage (Unix.gettimeofday () -. t0)) f
+
+let snapshot () =
+  Mutex.lock lock;
+  let entries =
+    List.rev_map
+      (fun stage ->
+        let seconds, calls = Hashtbl.find table stage in
+        { stage; seconds; calls })
+      !order
+  in
+  Mutex.unlock lock;
+  entries
+
+let pp ppf entries =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-10s %8.3f ms  (%d calls)@." e.stage (1e3 *. e.seconds) e.calls)
+    entries

@@ -1,0 +1,24 @@
+(** Per-stage wall-clock accumulators for the synthesis flow.
+
+    {!Flow} wraps each pipeline stage ([frontend], [midend], [schedule],
+    [allocate], [bind], [control], [estimate]) in {!time}, so after a run
+    — serial or across worker domains — {!snapshot} yields the time
+    breakdown that {!Explore.table} and the DSE benchmark report. The
+    accumulators are global and mutex-guarded; {!reset} starts a fresh
+    measurement window. *)
+
+type entry = { stage : string; seconds : float; calls : int }
+
+val time : string -> (unit -> 'a) -> 'a
+(** Run the thunk, adding its wall-clock duration to the stage's
+    accumulator (also on exception). *)
+
+val record : string -> float -> unit
+(** Add raw seconds to a stage (for externally-timed sections). *)
+
+val reset : unit -> unit
+
+val snapshot : unit -> entry list
+(** Accumulated entries in first-recorded order. *)
+
+val pp : Format.formatter -> entry list -> unit

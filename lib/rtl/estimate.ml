@@ -61,7 +61,7 @@ let cycle_time (dp : Datapath.t) =
     dp.Datapath.loads;
   !worst
 
-let estimate ?(style = Hls_ctrl.Encoding.Binary) (dp : Datapath.t) cs =
+let estimate ?(style = Hls_ctrl.Encoding.Binary) ?ctrl (dp : Datapath.t) cs =
   let fu_area =
     List.fold_left
       (fun acc (f : Datapath.fu_def) ->
@@ -74,7 +74,11 @@ let estimate ?(style = Hls_ctrl.Encoding.Binary) (dp : Datapath.t) cs =
       0 dp.Datapath.regs
   in
   let mux_area = mux_area_of dp in
-  let ctrl = Hls_ctrl.Ctrl_synth.synthesize ~style dp.Datapath.fsm in
+  let ctrl =
+    match ctrl with
+    | Some c -> c
+    | None -> Hls_ctrl.Ctrl_synth.synthesize ~style dp.Datapath.fsm
+  in
   let ctrl_area =
     (2 * Hls_ctrl.Ctrl_synth.literal_cost ctrl)
     + Component.register_area ~width:(Hls_ctrl.Ctrl_synth.n_state_bits ctrl)

@@ -21,7 +21,16 @@ type t = {
 }
 
 val estimate :
-  ?style:Hls_ctrl.Encoding.style -> Datapath.t -> Hls_sched.Cfg_sched.t -> t
+  ?style:Hls_ctrl.Encoding.style ->
+  ?ctrl:Hls_ctrl.Ctrl_synth.t ->
+  Datapath.t ->
+  Hls_sched.Cfg_sched.t ->
+  t
+(** [?ctrl] supplies an already-synthesized controller for the
+    datapath's FSM (it must match [style]); without it the controller
+    is re-synthesized here just to price its logic, which doubles the
+    most expensive backend stage when the caller — like {!val:estimate}'s
+    use in the flow — has one in hand. *)
 
 val pp : Format.formatter -> t -> unit
 val to_row : t -> string list

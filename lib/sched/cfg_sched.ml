@@ -12,6 +12,10 @@ let cfg t = t.cfg
 
 let block_schedule t bid = t.scheds.(bid)
 
+let digest t =
+  Digest.string
+    (String.concat "" (Array.to_list (Array.map Schedule.digest t.scheds)))
+
 let compute_steps t =
   List.fold_left
     (fun acc bid ->

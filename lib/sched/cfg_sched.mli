@@ -15,6 +15,11 @@ val make : Cfg.t -> scheduler:(Dfg.t -> Schedule.t) -> t
 val cfg : t -> Cfg.t
 val block_schedule : t -> Cfg.bid -> Schedule.t
 
+val digest : t -> string
+(** Content digest over all block schedules ({!Schedule.digest} of
+    each, in block order). Equal digests on the same CFG mean every
+    operation is placed in the same step. *)
+
 val compute_steps : t -> int
 (** Σ over blocks with at least one step-occupying operation of
     (steps × execution frequency) — the number the paper quotes. *)

@@ -25,3 +25,12 @@ val schedule : ?priority:priority -> limits:Limits.t -> Dfg.t -> Schedule.t
 (** Default priority is [Path_length]. *)
 
 val schedule_dep : ?priority:priority -> limits:Limits.t -> Depgraph.t -> int array
+(** Step assignment over dependence-graph indices. In-degree counting
+    feeds ready operations through a priority queue, so each step costs
+    O(ready log ready) instead of the naive O(n) readiness rescan. *)
+
+val schedule_dep_reference :
+  ?priority:priority -> limits:Limits.t -> Depgraph.t -> int array
+(** The straightforward rescan-and-resort implementation (the seed
+    code). Produces bit-identical schedules to {!schedule_dep}; kept as
+    the oracle for differential tests and benchmark baselines. *)

@@ -38,6 +38,8 @@ let make g ~steps =
 
 let dfg t = t.g
 
+let digest t = Digest.string (Marshal.to_string (t.step, t.total) [])
+
 let step_of t id =
   if t.step.(id) < 0 then
     invalid_arg (Printf.sprintf "Schedule.step_of: node %%%d is not step-occupying" id)

@@ -25,6 +25,12 @@ val make : Dfg.t -> steps:(Dfg.nid -> int) -> t
 
 val dfg : t -> Dfg.t
 
+val digest : t -> string
+(** Content digest of the step assignment. Two schedules of the same
+    DFG digest equally iff they place every operation identically —
+    the key the DSE engine uses to share backend results between
+    option points whose schedules coincide. *)
+
 val step_of : t -> Dfg.nid -> int
 (** Step of a step-occupying node. Raises [Invalid_argument] for
     non-occupying nodes (use {!producer_step}). *)

@@ -1,0 +1,28 @@
+(** Minimal JSON values — emit and parse, no external dependency.
+    Used for the machine-readable benchmark reports ([BENCH_dse.json]).
+
+    All numbers are [float]s; object fields keep insertion order;
+    [to_string] pretty-prints with two-space indentation and a trailing
+    newline. The parser accepts exactly one value with optional
+    surrounding whitespace. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** [Error msg] carries the byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing field or non-object. *)
+
+val to_float : t -> float option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val to_str : t -> string option

@@ -1,0 +1,92 @@
+(* Domain-based worker pool. A fixed set of worker domains drains a
+   Mutex/Condition-protected work queue; [map] slices a list into
+   indexed tasks so results always come back in input order no matter
+   which worker ran them. *)
+
+type t = {
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.work_ready pool.lock
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.lock
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.lock;
+    task ();
+    worker_loop pool
+  end
+
+let create ~workers:n =
+  let pool =
+    {
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init (max 1 n) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let submit pool task =
+  Mutex.lock pool.lock;
+  if pool.closed then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task pool.queue;
+  Condition.signal pool.work_ready;
+  Mutex.unlock pool.lock
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.closed <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+(* Tasks never let exceptions escape into the worker loop: each slot
+   records either the result or the exception, re-raised at collection
+   time in input order. *)
+let map ?(jobs = 1) f xs =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let results = Array.make n None in
+    let lock = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref n in
+    let pool = create ~workers:(min jobs n) in
+    Array.iteri
+      (fun i x ->
+        submit pool (fun () ->
+            let r = try Ok (f x) with e -> Error e in
+            results.(i) <- Some r;
+            Mutex.lock lock;
+            decr remaining;
+            if !remaining = 0 then Condition.signal all_done;
+            Mutex.unlock lock))
+      items;
+    Mutex.lock lock;
+    while !remaining > 0 do
+      Condition.wait all_done lock
+    done;
+    Mutex.unlock lock;
+    shutdown pool;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> failwith "Pool.map: missing result")
+  end

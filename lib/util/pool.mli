@@ -1,0 +1,27 @@
+(** Domain-based worker pool (OCaml 5 [Domain] with a [Mutex]/[Condition]
+    work queue), used to evaluate independent synthesis jobs — e.g. the
+    points of a design-space sweep — concurrently.
+
+    The scheduling order of tasks across workers is nondeterministic,
+    but {!map} always collects results in input order, so a parallel
+    sweep returns exactly the list a serial one would. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn a pool of [workers] domains (at least one) blocked on an
+    empty work queue. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task. Tasks must not raise — wrap fallible work yourself
+    (as {!map} does). Raises [Invalid_argument] after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Close the queue, let queued tasks finish, and join all workers. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] evaluated by a temporary pool of
+    [jobs] workers, results in input order. With [jobs <= 1] (the
+    default) no domain is spawned and the map runs inline. If any
+    application raises, the first exception in input order is re-raised
+    after all tasks settle. *)

@@ -74,6 +74,20 @@ let prop_clique_valid =
       in
       cover && valid)
 
+let prop_clique_matches_reference =
+  QCheck.Test.make
+    ~name:"bitset clique partition is bit-identical to the reference" ~count:200
+    QCheck.(pair (int_bound 1000) (int_range 0 24))
+    (fun (seed, n) ->
+      let rng = Random.State.make [| seed |] in
+      (* vary density so sparse and dense graphs are both covered *)
+      let p = 1 + Random.State.int rng 9 in
+      let matrix =
+        Array.init n (fun _ -> Array.init n (fun _ -> Random.State.int rng 10 < p))
+      in
+      let compatible i j = matrix.(min i j).(max i j) in
+      Clique.partition ~n ~compatible = Clique.partition_reference ~n ~compatible)
+
 (* ---- Fig 6 / Fig 7 example ----
 
    Schedule (one block):
@@ -359,6 +373,7 @@ let () =
         [
           Alcotest.test_case "small" `Quick test_clique_small;
           QCheck_alcotest.to_alcotest prop_clique_valid;
+          QCheck_alcotest.to_alcotest prop_clique_matches_reference;
         ] );
       ( "figures",
         [

@@ -1,0 +1,192 @@
+(* DSE engine tests: the worker pool (real domains, result ordering,
+   exception propagation), the JSON emitter/parser behind the benchmark
+   report, determinism of the memoized parallel sweep (jobs=1 = jobs=4 =
+   unmemoized serial, design for design), cache-layer accounting, and
+   the structural Pareto marking in Explore.table. *)
+
+open Hls_util
+open Hls_core
+
+(* ---- worker pool ---- *)
+
+let test_pool_map_order () =
+  let xs = List.init 50 Fun.id in
+  Alcotest.(check (list int))
+    "jobs=4 preserves input order" (List.map (fun x -> x * x) xs)
+    (Pool.map ~jobs:4 (fun x -> x * x) xs)
+
+let test_pool_inline () =
+  Alcotest.(check (list int)) "jobs=1 runs inline" [ 2; 4 ] (Pool.map (( * ) 2) [ 1; 2 ]);
+  Alcotest.(check (list int)) "empty list" [] (Pool.map ~jobs:4 Fun.id [])
+
+let test_pool_more_jobs_than_work () =
+  Alcotest.(check (list int))
+    "8 workers, 3 items" [ 1; 2; 3 ]
+    (Pool.map ~jobs:8 Fun.id [ 1; 2; 3 ])
+
+let test_pool_exception () =
+  Alcotest.check_raises "first exception in input order wins"
+    (Failure "boom 2")
+    (fun () ->
+      ignore
+        (Pool.map ~jobs:4
+           (fun x -> if x >= 2 then failwith (Printf.sprintf "boom %d" x) else x)
+           [ 0; 1; 2; 3; 4 ]))
+
+let test_pool_submit_after_shutdown () =
+  let p = Pool.create ~workers:2 in
+  let hits = Atomic.make 0 in
+  Pool.submit p (fun () -> Atomic.incr hits);
+  Pool.submit p (fun () -> Atomic.incr hits);
+  Pool.shutdown p;
+  Alcotest.(check int) "queued tasks ran" 2 (Atomic.get hits);
+  Alcotest.check_raises "submit after shutdown rejected"
+    (Invalid_argument "Pool.submit: pool is shut down")
+    (fun () -> Pool.submit p (fun () -> ()))
+
+(* ---- json ---- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.Str "dse \"bench\"\n");
+        ("ok", Json.Bool true);
+        ("nothing", Json.Null);
+        ("xs", Json.Arr [ Json.Num 1.0; Json.Num (-2.5); Json.Obj [] ]);
+        ("empty", Json.Arr []);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+  | Error e -> Alcotest.fail ("reparse failed: " ^ e)
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("speedup", Json.Num 2.5); ("ok", Json.Bool true) ] in
+  Alcotest.(check (option (float 1e-9)))
+    "member/to_float" (Some 2.5)
+    (Option.bind (Json.member "speedup" v) Json.to_float);
+  Alcotest.(check (option bool))
+    "member/to_bool" (Some true)
+    (Option.bind (Json.member "ok" v) Json.to_bool);
+  Alcotest.(check (option bool)) "missing member" None
+    (Option.bind (Json.member "nope" v) Json.to_bool)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* ---- engine determinism ---- *)
+
+let signature (d : Flow.design) =
+  ( d.Flow.estimate.Hls_rtl.Estimate.total_area,
+    d.Flow.estimate.Hls_rtl.Estimate.latency_ns,
+    d.Flow.estimate.Hls_rtl.Estimate.compute_steps,
+    Hls_alloc.Fu_alloc.n_units d.Flow.fu,
+    Hls_alloc.Reg_alloc.n_registers d.Flow.regs,
+    List.length d.Flow.transfers,
+    Hls_sched.Cfg_sched.digest d.Flow.sched )
+
+let sweep ~memoize ~jobs src =
+  Explore.sweep ~jobs ~engine:(Dse.create ~memoize src) src
+
+let test_sweep_deterministic () =
+  let src = Workloads.diffeq in
+  let serial = sweep ~memoize:false ~jobs:1 src in
+  let memo1 = sweep ~memoize:true ~jobs:1 src in
+  let memo4 = sweep ~memoize:true ~jobs:4 src in
+  let sg l = List.map (fun p -> signature p.Explore.design) l in
+  let labels l = List.map (fun p -> p.Explore.label) l in
+  Alcotest.(check int) "40 points" 40 (List.length serial);
+  Alcotest.(check bool) "labels stable" true
+    (labels serial = labels memo1 && labels memo1 = labels memo4);
+  Alcotest.(check bool) "memoized jobs=1 = unmemoized serial" true (sg serial = sg memo1);
+  Alcotest.(check bool) "jobs=4 = jobs=1" true (sg memo1 = sg memo4)
+
+let test_point_keeps_own_options () =
+  (* a backend cache hit must be rewrapped with the point's options *)
+  let src = Workloads.diffeq in
+  let points = sweep ~memoize:true ~jobs:1 src in
+  List.iter
+    (fun (p : Explore.point) ->
+      Alcotest.(check bool)
+        (p.Explore.label ^ " carries its own options")
+        true
+        (p.Explore.options = p.Explore.design.Flow.options))
+    points
+
+let test_cache_accounting () =
+  let src = Workloads.diffeq in
+  let engine = Dse.create src in
+  let points = Explore.sweep ~engine src in
+  let s = Dse.stats engine in
+  let n = List.length points in
+  let total l = l.Dse.hits + l.Dse.misses in
+  Alcotest.(check int) "frontend probed per point" n (total s.Dse.frontend);
+  Alcotest.(check int) "frontend compiled once" 1 s.Dse.frontend.Dse.misses;
+  Alcotest.(check int) "one midend per (opt,ifc)" 1 s.Dse.midend.Dse.misses;
+  Alcotest.(check bool) "schedule layer shares limit-ignoring schedulers" true
+    (s.Dse.schedule.Dse.misses < n);
+  Alcotest.(check bool) "backend layer shares coinciding schedules" true
+    (s.Dse.backend.Dse.misses < n && s.Dse.backend.Dse.hits > 0);
+  (* a second identical sweep is answered entirely from the cache *)
+  let again = Explore.sweep ~engine src in
+  let s2 = Dse.stats engine in
+  Alcotest.(check int) "no new backend misses" s.Dse.backend.Dse.misses
+    s2.Dse.backend.Dse.misses;
+  Alcotest.(check bool) "same results" true
+    (List.map (fun p -> signature p.Explore.design) points
+    = List.map (fun p -> signature p.Explore.design) again);
+  Dse.clear engine;
+  let s3 = Dse.stats engine in
+  Alcotest.(check int) "clear zeroes counters" 0
+    (total s3.Dse.frontend + total s3.Dse.midend + total s3.Dse.schedule
+   + total s3.Dse.backend)
+
+(* ---- pareto marking ---- *)
+
+let test_table_marks_structural_copies () =
+  let src = Workloads.sqrt_newton in
+  let points = Explore.sweep_limits src in
+  (* rebuild every point record so no row is physically equal to any
+     frontier member — the marking must still appear *)
+  let copies = List.map (fun (p : Explore.point) -> { p with Explore.label = p.Explore.label }) points in
+  let stars s = List.length (String.split_on_char '*' s) - 1 in
+  let marked = stars (Explore.table points) in
+  Alcotest.(check bool) "some rows are on the frontier" true (marked > 0);
+  Alcotest.(check int) "copied records marked identically" marked
+    (stars (Explore.table copies))
+
+let () =
+  Alcotest.run "dse"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order (4 domains)" `Quick test_pool_map_order;
+          Alcotest.test_case "inline and empty" `Quick test_pool_inline;
+          Alcotest.test_case "more workers than work" `Quick test_pool_more_jobs_than_work;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "shutdown" `Quick test_pool_submit_after_shutdown;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "sweep deterministic across jobs" `Quick test_sweep_deterministic;
+          Alcotest.test_case "points keep their options" `Quick test_point_keeps_own_options;
+          Alcotest.test_case "cache accounting" `Quick test_cache_accounting;
+        ] );
+      ( "pareto",
+        [
+          Alcotest.test_case "structural frontier marking" `Quick
+            test_table_marks_structural_copies;
+        ] );
+    ]

@@ -184,6 +184,27 @@ let prop_all_schedulers_valid =
             (all_schedulers limits g))
         limits_choices)
 
+let prop_list_sched_matches_reference =
+  QCheck.Test.make
+    ~name:"pqueue list scheduler is bit-identical to the reference" ~count:150
+    Gen.dfg_arbitrary
+    (fun seed ->
+      let g = Gen.dfg_of_seed ~max_ops:20 seed in
+      let dep = Depgraph.of_dfg g in
+      let deadline = max 1 (Depgraph.critical_length dep) in
+      let priorities =
+        [ List_sched.Path_length; List_sched.Urgency deadline;
+          List_sched.Mobility deadline; List_sched.Fifo ]
+      in
+      List.for_all
+        (fun limits ->
+          List.for_all
+            (fun priority ->
+              List_sched.schedule_dep ~priority ~limits dep
+              = List_sched.schedule_dep_reference ~priority ~limits dep)
+            priorities)
+        limits_choices)
+
 let prop_bb_is_optimal =
   QCheck.Test.make ~name:"branch-and-bound never beaten" ~count:60
     Gen.dfg_arbitrary
@@ -405,6 +426,7 @@ let () =
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_all_schedulers_valid;
+          QCheck_alcotest.to_alcotest prop_list_sched_matches_reference;
           QCheck_alcotest.to_alcotest prop_bb_is_optimal;
           QCheck_alcotest.to_alcotest prop_unconstrained_asap_is_critical_path;
           QCheck_alcotest.to_alcotest prop_fds_respects_deadline;
