@@ -115,14 +115,28 @@ let handle_errors f =
   | Hls_lang.Ast.Frontend_error (pos, msg) ->
       Printf.eprintf "error at %d:%d: %s\n" pos.Hls_lang.Ast.line pos.Hls_lang.Ast.col msg;
       exit 1
+  | Flow.Lint_failed ds ->
+      List.iter
+        (fun d -> Printf.eprintf "%s\n" (Hls_analysis.Diagnostic.to_string d))
+        ds;
+      Printf.eprintf "error: design failed verification (%s)\n"
+        (Hls_analysis.Diagnostic.summary ds);
+      exit 1
   | Invalid_argument msg | Failure msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
 
 (* ---- synth ---- *)
 
+let verify_flag =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:"Run the full design lint after synthesis and fail on any error.")
+
 let synth_cmd =
-  let run file example opt_level if_conv scheduler fus allocator encoding verilog_out dot_out =
+  let run file example opt_level if_conv scheduler fus allocator encoding verify verilog_out
+      dot_out =
     match read_source file example with
     | Error e ->
         Printf.eprintf "error: %s\n" e;
@@ -130,7 +144,7 @@ let synth_cmd =
     | Ok src ->
         handle_errors (fun () ->
             let options = make_options opt_level if_conv scheduler fus allocator encoding in
-            let d = Flow.synthesize ~options src in
+            let d = Flow.synthesize ~options ~verify src in
             Report.print d;
             (match Flow.verify ~runs:5 d with
             | Ok () -> print_endline "co-simulation: behavioral = CDFG = RTL on 5 random vectors"
@@ -155,7 +169,130 @@ let synth_cmd =
   Cmd.v info
     Term.(
       const run $ source_file $ example $ opt_level $ if_convert_flag $ scheduler $ fus
-      $ allocator $ encoding $ verilog_out $ dot_out)
+      $ allocator $ encoding $ verify_flag $ verilog_out $ dot_out)
+
+(* ---- lint ---- *)
+
+let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+
+let matrix_flag =
+  Arg.(
+    value & flag
+    & info [ "matrix" ]
+        ~doc:"Lint each source under every scheduler \\$(i,\\times) allocator combination.")
+
+let lint_all_flag =
+  Arg.(value & flag & info [ "all" ] ~doc:"Lint every built-in workload.")
+
+let rules_flag =
+  Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule-code table and exit.")
+
+let floor_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("info", Hls_analysis.Diagnostic.Info);
+             ("warning", Hls_analysis.Diagnostic.Warning);
+             ("error", Hls_analysis.Diagnostic.Error);
+           ])
+        Hls_analysis.Diagnostic.Info
+    & info [ "severity" ] ~docv:"LEVEL"
+        ~doc:"Report only diagnostics at or above LEVEL (info|warning|error).")
+
+let lint_schedulers =
+  [
+    Flow.Asap;
+    Flow.List_path;
+    Flow.List_mobility;
+    Flow.Force_directed 0;
+    Flow.Freedom;
+    Flow.Branch_bound;
+    Flow.Ilp_exact;
+    Flow.Trans_parallel;
+    Flow.Trans_serial;
+  ]
+
+let lint_allocators =
+  [ (`Clique, "clique"); (`Greedy_min_mux, "min-mux"); (`Greedy_first_fit, "first-fit") ]
+
+let lint_cmd =
+  let run file example all matrix json floor rules opt_level if_conv scheduler fus allocator
+      encoding =
+    if rules then begin
+      print_string (Lint.rules_table ());
+      exit 0
+    end;
+    let sources =
+      if all then Ok Workloads.all
+      else
+        match read_source file example with
+        | Error e -> Error e
+        | Ok src ->
+            let name =
+              match example with
+              | Some n -> n
+              | None -> Option.value file ~default:"design"
+            in
+            Ok [ (name, src) ]
+    in
+    match sources with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 2
+    | Ok sources ->
+        handle_errors (fun () ->
+            let base = make_options opt_level if_conv scheduler fus allocator encoding in
+            let points =
+              if matrix then
+                List.concat_map
+                  (fun s ->
+                    List.map
+                      (fun (a, aname) ->
+                        ({ base with Flow.scheduler = s; allocator = a }, Some aname))
+                      lint_allocators)
+                  lint_schedulers
+              else [ (base, None) ]
+            in
+            let reports =
+              List.concat_map
+                (fun (name, src) ->
+                  let eng = Dse.create src in
+                  List.map
+                    (fun ((options : Flow.options), aname) ->
+                      let label =
+                        match aname with
+                        | Some aname ->
+                            Printf.sprintf "%s[%s,%s]" name
+                              (Flow.scheduler_to_string options.Flow.scheduler)
+                              aname
+                        | None -> name
+                      in
+                      (label, Lint.run ~floor (Dse.eval eng options)))
+                    points)
+                sources
+            in
+            (if json then
+               let objs = List.map (fun (label, ds) -> Lint.to_json ~name:label ds) reports in
+               print_string
+                 (Hls_util.Json.to_string
+                    (match objs with [ o ] -> o | _ -> Hls_util.Json.Arr objs))
+             else
+               List.iter (fun (label, ds) -> print_string (Lint.render ~name:label ds)) reports);
+            if List.exists (fun (_, ds) -> Lint.has_errors ds) reports then exit 1)
+  in
+  let info =
+    Cmd.info "lint"
+      ~doc:
+        "Run every IR-level checker (CDFG, schedule, allocation, netlist, controller, \
+         microcode) over a synthesized design and report structured diagnostics. Exits \
+         non-zero if any error-severity diagnostic is found."
+  in
+  Cmd.v info
+    Term.(
+      const run $ source_file $ example $ lint_all_flag $ matrix_flag $ json_flag $ floor_arg
+      $ rules_flag $ opt_level $ if_convert_flag $ scheduler $ fus $ allocator $ encoding)
 
 (* ---- run ---- *)
 
@@ -287,4 +424,4 @@ let () =
     Cmd.info "hlsc" ~version:"1.0.0"
       ~doc:"High-level synthesis: behavioral specifications to RTL structures."
   in
-  exit (Cmd.eval (Cmd.group info [ synth_cmd; run_cmd; explore_cmd; examples_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ synth_cmd; lint_cmd; run_cmd; explore_cmd; examples_cmd ]))

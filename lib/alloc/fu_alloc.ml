@@ -74,10 +74,12 @@ let make_lookup instances =
     (fun inst ->
       List.iter (fun r -> Hashtbl.replace table (r.bid, r.nid) inst.fu_id) inst.ops)
     instances;
-  fun key ->
-    match Hashtbl.find_opt table key with
+  fun (bid, nid) ->
+    match Hashtbl.find_opt table (bid, nid) with
     | Some id -> id
-    | None -> invalid_arg "Fu_alloc: operation not allocated"
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Fu_alloc: operation b%d.%%%d is not allocated to any unit" bid nid)
 
 let by_clique cs =
   let ops = Array.of_list (collect cs) in

@@ -111,10 +111,14 @@ let allocate ?(op_cap = 14) cs =
           {
             Fu_alloc.instances;
             of_op =
-              (fun key ->
-                match Hashtbl.find_opt lookup key with
+              (fun (bid, nid) ->
+                match Hashtbl.find_opt lookup (bid, nid) with
                 | Some id -> id
-                | None -> invalid_arg "Ilp_alloc: operation not allocated");
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "Ilp_alloc: operation b%d.%%%d is not allocated to any unit" bid
+                         nid));
           }
   end
 

@@ -45,10 +45,14 @@ let transfers cs ~fu ~regs =
         match Dfg.op g nid with
         | Op.Const c -> W_const c
         | Op.Read v -> W_var (Reg_alloc.register_of_var regs v)
-        | Op.Write _ -> (
+        | Op.Write v -> (
             match Dfg.args g nid with
             | [ a ] -> producing_wire a
-            | _ -> invalid_arg "Interconnect: malformed write")
+            | args ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Interconnect: write of %s (b%d.%%%d) has %d arguments, expected 1" v
+                     bid nid (List.length args)))
         | _ when Dfg.occupies_step g nid -> W_fu_out (fu.Fu_alloc.of_op (bid, nid))
         | _ -> W_wire (bid, nid)
       in
@@ -65,7 +69,11 @@ let transfers cs ~fu ~regs =
                 | Op.Read w -> W_var (Reg_alloc.register_of_var regs w)
                 | Op.Const c -> W_const c
                 | _ -> producing_wire a)
-            | _ -> invalid_arg "Interconnect: malformed write"
+            | args ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Interconnect: write of %s (b%d.%%%d) has %d arguments, expected 1" v
+                     bid wnid (List.length args))
           in
           emit
             {

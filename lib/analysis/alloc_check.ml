@@ -1,0 +1,190 @@
+open Hls_cdfg
+open Hls_alloc
+open Diagnostic
+
+let rules =
+  [
+    ("ALLOC001", "operation bound to a unit of a different class");
+    ("ALLOC002", "two operations on one unit in the same (block, step) slot");
+    ("ALLOC003", "step-occupying operation bound to no unit");
+    ("ALLOC004", "unit binding disagrees with the schedule about a step");
+    ("ALLOC005", "overlapping temporary lifetimes share a track");
+    ("ALLOC006", "temporary value has no register track");
+    ("ALLOC007", "interfering variables share a register");
+    ("ALLOC008", "variables written in the same control step share a register");
+    ("ALLOC009", "required data transfer missing from the interconnect");
+    ("ALLOC010", "interconnect carries a transfer the design never performs");
+  ]
+
+let check_fu cs (fu : Fu_alloc.t) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let bound : (Cfg.bid * Dfg.nid, int * Op.fu_class * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (inst : Fu_alloc.instance) ->
+      let slots = Hashtbl.create 8 in
+      List.iter
+        (fun (r : Fu_alloc.op_ref) ->
+          Hashtbl.replace bound (r.Fu_alloc.bid, r.Fu_alloc.nid)
+            (inst.Fu_alloc.fu_id, inst.Fu_alloc.fu_cls, r.Fu_alloc.step);
+          if r.Fu_alloc.cls <> inst.Fu_alloc.fu_cls then
+            add
+              (error Alloc ~code:"ALLOC001" (Fu inst.Fu_alloc.fu_id)
+                 "operation b%d.%%%d of class %s bound to a %s unit" r.Fu_alloc.bid
+                 r.Fu_alloc.nid
+                 (Op.fu_class_to_string r.Fu_alloc.cls)
+                 (Op.fu_class_to_string inst.Fu_alloc.fu_cls));
+          let slot = (r.Fu_alloc.bid, r.Fu_alloc.step) in
+          (match Hashtbl.find_opt slots slot with
+          | Some prev ->
+              add
+                (error Alloc ~code:"ALLOC002" (Fu inst.Fu_alloc.fu_id)
+                   "operations b%d.%%%d and b%d.%%%d both execute in block %d step %d"
+                   r.Fu_alloc.bid prev r.Fu_alloc.bid r.Fu_alloc.nid r.Fu_alloc.bid
+                   r.Fu_alloc.step)
+          | None -> ());
+          Hashtbl.replace slots slot r.Fu_alloc.nid)
+        inst.Fu_alloc.ops)
+    fu.Fu_alloc.instances;
+  List.iter
+    (fun (r : Fu_alloc.op_ref) ->
+      match Hashtbl.find_opt bound (r.Fu_alloc.bid, r.Fu_alloc.nid) with
+      | None ->
+          add
+            (error Alloc ~code:"ALLOC003" (Node (r.Fu_alloc.bid, r.Fu_alloc.nid))
+               "step-occupying %s operation is bound to no unit"
+               (Op.fu_class_to_string r.Fu_alloc.cls))
+      | Some (fu_id, _, recorded) ->
+          if recorded <> r.Fu_alloc.step then
+            add
+              (error Alloc ~code:"ALLOC004" (Fu fu_id)
+                 "binding records b%d.%%%d at step %d but the schedule places it at step %d"
+                 r.Fu_alloc.bid r.Fu_alloc.nid recorded r.Fu_alloc.step))
+    (Fu_alloc.collect cs);
+  List.rev !ds
+
+let check_registers cs ~temp_track ~groups ~outputs =
+  let cfg = Hls_sched.Cfg_sched.cfg cs in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  (* temporaries: per-block left-edge tracks *)
+  List.iter
+    (fun bid ->
+      let sched = Hls_sched.Cfg_sched.block_schedule cs bid in
+      let term_cond =
+        match Cfg.term cfg bid with
+        | Cfg.Branch (c, _, _) -> Some c
+        | Cfg.Goto _ | Cfg.Halt -> None
+      in
+      let temps = Lifetime.temps (Lifetime.analyze sched ~term_cond) in
+      let by_track : (int, (Dfg.nid * Hls_util.Interval.t) list) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      List.iter
+        (fun (nid, iv) ->
+          match temp_track bid nid with
+          | None ->
+              add
+                (error Alloc ~code:"ALLOC006" (Node (bid, nid))
+                   "value needs a temporary register over steps %d-%d but has no track"
+                   iv.Hls_util.Interval.lo iv.Hls_util.Interval.hi)
+          | Some track ->
+              let have =
+                match Hashtbl.find_opt by_track track with Some l -> l | None -> []
+              in
+              List.iter
+                (fun (other, oiv) ->
+                  if Hls_util.Interval.overlaps iv oiv then
+                    add
+                      (error Alloc ~code:"ALLOC005"
+                         (Register (Printf.sprintf "tmp%d" track))
+                         "b%d.%%%d (steps %d-%d) and b%d.%%%d (steps %d-%d) overlap on one track"
+                         bid other oiv.Hls_util.Interval.lo oiv.Hls_util.Interval.hi bid
+                         nid iv.Hls_util.Interval.lo iv.Hls_util.Interval.hi))
+                have;
+              Hashtbl.replace by_track track ((nid, iv) :: have))
+        temps)
+    (Cfg.block_ids cfg);
+  (* variables: liveness interference and same-step write conflicts *)
+  let live = Liveness.analyze ~live_at_exit:outputs cfg in
+  let write_slots : (string, (Cfg.bid * int) list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun bid ->
+      let g = Cfg.dfg cfg bid in
+      let sched = Hls_sched.Cfg_sched.block_schedule cs bid in
+      List.iter
+        (fun (v, wnid) ->
+          let slot = (bid, Hls_sched.Schedule.write_step sched wnid) in
+          let cur = match Hashtbl.find_opt write_slots v with Some l -> l | None -> [] in
+          Hashtbl.replace write_slots v (slot :: cur))
+        (Dfg.writes g))
+    (Cfg.block_ids cfg);
+  List.iter
+    (fun group ->
+      let reg = match group with r :: _ -> r | [] -> "?" in
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter
+              (fun b ->
+                if Liveness.interfere live a b then
+                  add
+                    (error Alloc ~code:"ALLOC007" (Register reg)
+                       "variables %s and %s are simultaneously live but share a register" a
+                       b);
+                let sa = match Hashtbl.find_opt write_slots a with Some l -> l | None -> [] in
+                let sb = match Hashtbl.find_opt write_slots b with Some l -> l | None -> [] in
+                match List.find_opt (fun s -> List.mem s sb) sa with
+                | Some (bid, step) ->
+                    add
+                      (error Alloc ~code:"ALLOC008" (Register reg)
+                         "variables %s and %s are both written in block %d step %d" a b bid
+                         step)
+                | None -> ())
+              rest;
+            pairs rest
+      in
+      pairs group)
+    groups;
+  List.rev !ds
+
+let wire_to_string = function
+  | Interconnect.W_fu_out id -> Printf.sprintf "fu%d" id
+  | Interconnect.W_var v -> v
+  | Interconnect.W_temp (b, n) -> Printf.sprintf "temp b%d.%%%d" b n
+  | Interconnect.W_wire (b, n) -> Printf.sprintf "wire b%d.%%%d" b n
+  | Interconnect.W_const c -> Printf.sprintf "const %d" c
+
+let dest_to_string = function
+  | Interconnect.D_fu_in (id, pos) -> Printf.sprintf "fu%d.in%d" id pos
+  | Interconnect.D_var v -> Printf.sprintf "register %s" v
+  | Interconnect.D_temp (b, n) -> Printf.sprintf "temp b%d.%%%d" b n
+
+let check_transfers cs ~fu ~regs given =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let expected = Interconnect.transfers cs ~fu ~regs in
+  let count tbl (t : Interconnect.transfer) delta =
+    let cur = match Hashtbl.find_opt tbl t with Some n -> n | None -> 0 in
+    Hashtbl.replace tbl t (cur + delta)
+  in
+  let balance = Hashtbl.create 64 in
+  List.iter (fun t -> count balance t 1) expected;
+  List.iter (fun t -> count balance t (-1)) given;
+  Hashtbl.iter
+    (fun (t : Interconnect.transfer) n ->
+      if n > 0 then
+        add
+          (error Alloc ~code:"ALLOC009" (Step (t.Interconnect.t_bid, t.Interconnect.t_step))
+             "transfer %s -> %s is required but missing from the interconnect"
+             (wire_to_string t.Interconnect.t_src)
+             (dest_to_string t.Interconnect.t_dst))
+      else if n < 0 then
+        add
+          (warning Alloc ~code:"ALLOC010"
+             (Step (t.Interconnect.t_bid, t.Interconnect.t_step))
+             "interconnect carries transfer %s -> %s that the design never performs"
+             (wire_to_string t.Interconnect.t_src)
+             (dest_to_string t.Interconnect.t_dst)))
+    balance;
+  List.rev !ds

@@ -1,0 +1,104 @@
+open Hls_cdfg
+open Diagnostic
+
+let rules =
+  [
+    ("CDFG001", "terminator targets a block outside the graph");
+    ("CDFG002", "branch condition is not a bool-typed node of its block");
+    ("CDFG003", "block is unreachable from the entry");
+    ("CDFG004", "DFG arc is dangling or breaks the topological-id invariant");
+    ("CDFG005", "node argument count does not match its operator's arity");
+    ("CDFG006", "operand/result types are inconsistent");
+  ]
+
+let check cfg =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let n = Cfg.n_blocks cfg in
+  let valid_bid b = b >= 0 && b < n in
+  (* control edges and branch conditions *)
+  List.iter
+    (fun bid ->
+      let g = Cfg.dfg cfg bid in
+      let target t =
+        if not (valid_bid t) then
+          add (error Cdfg ~code:"CDFG001" (Block bid) "terminator targets missing block %d" t)
+      in
+      (match Cfg.term cfg bid with
+      | Cfg.Goto t -> target t
+      | Cfg.Branch (c, t1, t2) ->
+          target t1;
+          target t2;
+          if c < 0 || c >= Dfg.n_nodes g then
+            add
+              (error Cdfg ~code:"CDFG002" (Block bid)
+                 "branch condition %%%d is not a node of the block" c)
+          else if Dfg.ty g c <> Hls_lang.Ast.Tbool then
+            add
+              (error Cdfg ~code:"CDFG002" (Node (bid, c))
+                 "branch condition has type %s, expected bool"
+                 (Hls_lang.Ast.ty_to_string (Dfg.ty g c)))
+      | Cfg.Halt -> ());
+      (* per-node structural and type rules *)
+      Dfg.iter
+        (fun id node ->
+          let args = node.Dfg.args in
+          List.iter
+            (fun a ->
+              if a < 0 || a >= id then
+                add
+                  (error Cdfg ~code:"CDFG004" (Node (bid, id))
+                     "argument %%%d is not an earlier node of the block" a))
+            args;
+          let want = Op.arity node.Dfg.op in
+          if List.length args <> want then
+            add
+              (error Cdfg ~code:"CDFG005" (Node (bid, id))
+                 "%s takes %d argument%s, got %d" (Op.to_string node.Dfg.op) want
+                 (if want = 1 then "" else "s")
+                 (List.length args));
+          let args_ok = List.for_all (fun a -> a >= 0 && a < id) args in
+          let type_err fmt =
+            Printf.ksprintf
+              (fun msg -> add (error Cdfg ~code:"CDFG006" (Node (bid, id)) "%s" msg))
+              fmt
+          in
+          match node.Dfg.op with
+          | Op.Cmp _ | Op.Zdetect ->
+              if node.Dfg.ty <> Hls_lang.Ast.Tbool then
+                type_err "%s must produce bool, produces %s" (Op.to_string node.Dfg.op)
+                  (Hls_lang.Ast.ty_to_string node.Dfg.ty)
+          | Op.Mux when args_ok -> (
+              match args with
+              | [ c; a; b ] ->
+                  if Dfg.ty g c <> Hls_lang.Ast.Tbool then
+                    type_err "mux condition has type %s, expected bool"
+                      (Hls_lang.Ast.ty_to_string (Dfg.ty g c));
+                  List.iter
+                    (fun arm ->
+                      if Dfg.ty g arm <> node.Dfg.ty then
+                        type_err "mux arm %%%d has type %s, result has %s" arm
+                          (Hls_lang.Ast.ty_to_string (Dfg.ty g arm))
+                          (Hls_lang.Ast.ty_to_string node.Dfg.ty))
+                    [ a; b ]
+              | _ -> ())
+          | _ -> ())
+        g)
+    (Cfg.block_ids cfg);
+  (* reachability, over the in-range part of the successor relation *)
+  let entry = Cfg.entry cfg in
+  if valid_bid entry then begin
+    let succs =
+      Array.init n (fun b -> List.filter valid_bid (Cfg.succs cfg b))
+    in
+    let reach = Graph_algo.reachable ~succs ~entry in
+    List.iter
+      (fun bid ->
+        if not reach.(bid) then
+          add
+            (warning Cdfg ~code:"CDFG003" (Block bid) "block %s is unreachable from the entry"
+               (Cfg.block cfg bid).Cfg.label))
+      (Cfg.block_ids cfg)
+  end
+  else add (error Cdfg ~code:"CDFG001" Design "entry block %d is outside the graph" entry);
+  List.rev !ds

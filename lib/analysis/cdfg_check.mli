@@ -1,0 +1,22 @@
+(** CDFG well-formedness: the invariants the scheduler assumes of the
+    compiled (and transformed) control/data-flow graph.
+
+    Rules:
+    - [CDFG001] (error) — a terminator targets a block id outside the
+      graph (dangling control edge);
+    - [CDFG002] (error) — a branch condition is not a bool-typed node
+      of its own block's DFG;
+    - [CDFG003] (warning) — a block is unreachable from the entry;
+    - [CDFG004] (error) — a DFG arc is dangling or violates the
+      topological-id invariant (an argument id is not smaller than its
+      consumer's id);
+    - [CDFG005] (error) — a node's argument count does not match its
+      operator's arity;
+    - [CDFG006] (error) — operand/result types are inconsistent:
+      comparisons and zero-detects must produce bool, a mux condition
+      must be bool and its arms must agree with the result type. *)
+
+val rules : (string * string) list
+(** [(code, one-line description)] for every rule above. *)
+
+val check : Hls_cdfg.Cfg.t -> Diagnostic.t list

@@ -1,0 +1,62 @@
+(** Controller checks: FSM structure, state encoding, next-state logic
+    and microcode fields.
+
+    The entry points take the controller in decomposed form (state and
+    transition lists, code/next functions) so tests can inject known
+    defects and assert the exact rule that fires; {!check_fsm_t} and
+    {!check_synth} are the convenience wrappers over the real types.
+
+    Rules:
+    - [CTRL001] (warning) — an FSM state is unreachable from the entry;
+    - [CTRL002] (error) — conflicting transitions leave one state (two
+      unconditional, unconditional mixed with conditional, two guards
+      on the same condition and polarity to different targets, or
+      guards on two different condition nodes);
+    - [CTRL003] (error) — a state has no outgoing transition (the FSM
+      wedges there);
+    - [CTRL004] (error) — a branching state covers only one polarity of
+      its condition (incomplete transition function);
+    - [CTRL005] (error) — a transition endpoint is not a state of the
+      machine;
+    - [CTRL006] (error) — two states share an encoded state code;
+    - [CTRL007] (error) — the synthesized next-state logic disagrees
+      with the FSM's transition relation;
+    - [CTRL008] (error) — a microcode word's field value does not fit
+      the field, or a word has the wrong field count;
+    - [CTRL009] (info) — a microcode field holds the same value in
+      every word (dead control field). *)
+
+open Hls_cdfg
+
+val rules : (string * string) list
+
+val check_fsm :
+  states:Hls_ctrl.Fsm.state list ->
+  transitions:Hls_ctrl.Fsm.transition list ->
+  entry:int ->
+  Diagnostic.t list
+(** [CTRL001]–[CTRL005]. *)
+
+val check_fsm_t : Hls_ctrl.Fsm.t -> Diagnostic.t list
+
+val check_encoding :
+  states:Hls_ctrl.Fsm.state list -> code:(int -> int) -> Diagnostic.t list
+(** [CTRL006]. [code] maps a state id to its encoded value
+    ({!Hls_ctrl.Ctrl_synth.state_code}). *)
+
+val check_next :
+  states:Hls_ctrl.Fsm.state list ->
+  transitions:Hls_ctrl.Fsm.transition list ->
+  next:(state:int -> conds:((Cfg.bid * Dfg.nid) * bool) list -> int) ->
+  Diagnostic.t list
+(** [CTRL007]. Replays every transition (both polarities of every
+    branch) through [next] ({!Hls_ctrl.Ctrl_synth.next_state}) and
+    compares against the transition relation. *)
+
+val check_synth : Hls_ctrl.Ctrl_synth.t -> Hls_ctrl.Fsm.t -> Diagnostic.t list
+(** [CTRL006]–[CTRL007] on a synthesized controller. *)
+
+val check_microcode :
+  fields:Hls_ctrl.Microcode.field list -> words:int list array -> Diagnostic.t list
+(** [CTRL008]–[CTRL009] on a microcode image (one word per state, one
+    value per field, as {!Hls_ctrl.Microcode.make} takes them). *)

@@ -1,0 +1,111 @@
+type severity = Info | Warning | Error
+type stage = Cdfg | Sched | Alloc | Rtl | Ctrl
+
+type entity =
+  | Design
+  | Block of int
+  | Node of int * int
+  | Step of int * int
+  | Fu of int
+  | Register of string
+  | State of int
+  | Transition of int * int
+  | Field of string
+
+type t = {
+  code : string;
+  severity : severity;
+  stage : stage;
+  entity : entity;
+  message : string;
+}
+
+let diag severity stage ~code entity fmt =
+  Printf.ksprintf (fun message -> { code; severity; stage; entity; message }) fmt
+
+let error stage = diag Error stage
+let warning stage = diag Warning stage
+let info stage = diag Info stage
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let stage_rank = function Cdfg -> 0 | Sched -> 1 | Alloc -> 2 | Rtl -> 3 | Ctrl -> 4
+
+let stage_to_string = function
+  | Cdfg -> "cdfg"
+  | Sched -> "sched"
+  | Alloc -> "alloc"
+  | Rtl -> "rtl"
+  | Ctrl -> "ctrl"
+
+let entity_to_string = function
+  | Design -> "design"
+  | Block b -> Printf.sprintf "block %d" b
+  | Node (b, n) -> Printf.sprintf "b%d.%%%d" b n
+  | Step (b, s) -> Printf.sprintf "block %d step %d" b s
+  | Fu id -> Printf.sprintf "fu%d" id
+  | Register r -> Printf.sprintf "register %s" r
+  | State s -> Printf.sprintf "state %d" s
+  | Transition (a, b) -> Printf.sprintf "transition %d->%d" a b
+  | Field f -> Printf.sprintf "field %s" f
+
+let meets ~floor d = severity_rank d.severity >= severity_rank floor
+let filter ~floor ds = List.filter (meets ~floor) ds
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      compare
+        (stage_rank a.stage, -severity_rank a.severity, a.code, a.entity)
+        (stage_rank b.stage, -severity_rank b.severity, b.code, b.entity))
+    ds
+
+let summary ds =
+  let tally sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+  let part n what = if n = 0 then [] else [ Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") ] in
+  match part (tally Error) "error" @ part (tally Warning) "warning" @ part (tally Info) "info" with
+  | [] -> "clean"
+  | parts -> String.concat ", " parts
+
+let to_string d =
+  Printf.sprintf "%s[%s] %s: %s"
+    (severity_to_string d.severity)
+    d.code (entity_to_string d.entity) d.message
+
+let entity_json e =
+  let open Hls_util.Json in
+  let kind k fields = Obj (("kind", Str k) :: fields) in
+  match e with
+  | Design -> kind "design" []
+  | Block b -> kind "block" [ ("block", Num (float_of_int b)) ]
+  | Node (b, n) -> kind "node" [ ("block", Num (float_of_int b)); ("node", Num (float_of_int n)) ]
+  | Step (b, s) -> kind "step" [ ("block", Num (float_of_int b)); ("step", Num (float_of_int s)) ]
+  | Fu id -> kind "fu" [ ("id", Num (float_of_int id)) ]
+  | Register r -> kind "register" [ ("name", Str r) ]
+  | State s -> kind "state" [ ("id", Num (float_of_int s)) ]
+  | Transition (a, b) -> kind "transition" [ ("from", Num (float_of_int a)); ("to", Num (float_of_int b)) ]
+  | Field f -> kind "field" [ ("name", Str f) ]
+
+let to_json d =
+  Hls_util.Json.Obj
+    [
+      ("code", Hls_util.Json.Str d.code);
+      ("severity", Hls_util.Json.Str (severity_to_string d.severity));
+      ("stage", Hls_util.Json.Str (stage_to_string d.stage));
+      ("entity", entity_json d.entity);
+      ("message", Hls_util.Json.Str d.message);
+    ]
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

@@ -1,0 +1,77 @@
+(** Structured diagnostics shared by every IR-level checker.
+
+    The synthesis pipeline (compile → transform → schedule → allocate →
+    bind → control synthesis) is a chain of refinements; each stage
+    assumes invariants the previous stage must establish. The checkers
+    in this library verify those invariants and report violations as
+    values of {!t} rather than dying on the first [failwith]: a
+    diagnostic names the violated rule (a stable code such as
+    ["SCHED001"]), the pipeline stage, the entity at fault and a human
+    message, and serializes to JSON via {!Hls_util.Json} for
+    machine-readable consumption (feedback-guided exploration, CI). *)
+
+type severity = Info | Warning | Error
+
+(** The IR level a rule belongs to; one checker per stage. *)
+type stage = Cdfg | Sched | Alloc | Rtl | Ctrl
+
+(** What the diagnostic points at. Block/node/step identifiers follow
+    the conventions of {!Hls_cdfg.Cfg} and {!Hls_sched.Schedule}
+    (blocks and nodes 0-based, control steps 1-based). *)
+type entity =
+  | Design  (** the design as a whole *)
+  | Block of int  (** CFG basic block *)
+  | Node of int * int  (** (block, DFG node) *)
+  | Step of int * int  (** (block, control step) *)
+  | Fu of int  (** functional-unit instance *)
+  | Register of string  (** physical register *)
+  | State of int  (** FSM state *)
+  | Transition of int * int  (** FSM transition (from, to) *)
+  | Field of string  (** microcode control field *)
+
+type t = {
+  code : string;  (** stable rule code, e.g. ["ALLOC003"] *)
+  severity : severity;
+  stage : stage;
+  entity : entity;
+  message : string;
+}
+
+val diag :
+  severity -> stage -> code:string -> entity -> ('a, unit, string, t) format4 -> 'a
+(** [diag sev stage ~code entity fmt ...] builds a diagnostic with a
+    printf-formatted message. *)
+
+val error : stage -> code:string -> entity -> ('a, unit, string, t) format4 -> 'a
+val warning : stage -> code:string -> entity -> ('a, unit, string, t) format4 -> 'a
+val info : stage -> code:string -> entity -> ('a, unit, string, t) format4 -> 'a
+
+val severity_rank : severity -> int
+(** [Info] = 0, [Warning] = 1, [Error] = 2. *)
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+val stage_to_string : stage -> string
+val entity_to_string : entity -> string
+
+val meets : floor:severity -> t -> bool
+(** Whether the diagnostic's severity is at or above the floor. *)
+
+val filter : floor:severity -> t list -> t list
+val errors : t list -> t list
+
+val sort : t list -> t list
+(** Stable order for reporting: pipeline stage, then descending
+    severity, then rule code, then entity. *)
+
+val summary : t list -> string
+(** E.g. ["2 errors, 1 warning"]; ["clean"] when empty. *)
+
+val to_string : t -> string
+(** One line: [error\[SCHED001\] block 1 step 2: ...]. *)
+
+val to_json : t -> Hls_util.Json.t
+(** Object with [code], [severity], [stage], [entity], [message]
+    fields; [entity] is itself an object with a [kind] field. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+open Hls_cdfg
+open Hls_sched
+open Diagnostic
+
+let rules =
+  [
+    ("SCHED001", "operation starts no later than an operand's producing step");
+    ("SCHED002", "control step exceeds the functional-unit limits");
+    ("SCHED003", "intermediate control step is empty");
+  ]
+
+let check_block ?(limits = Limits.Unlimited) ~bid sched =
+  let g = Schedule.dfg sched in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  Dfg.iter
+    (fun id node ->
+      if Dfg.occupies_step g id then begin
+        let s = Schedule.step_of sched id in
+        List.iter
+          (fun a ->
+            let p = Schedule.producer_step sched a in
+            if s < p + 1 then
+              add
+                (error Sched ~code:"SCHED001" (Node (bid, id))
+                   "scheduled in step %d but operand %%%d is produced in step %d" s a p))
+          node.Dfg.args
+      end)
+    g;
+  let writes_at s =
+    List.exists (fun (_, wnid) -> Schedule.write_step sched wnid = s) (Dfg.writes g)
+  in
+  for s = 1 to Schedule.n_steps sched do
+    let counts = Schedule.usage sched s in
+    if not (Limits.within limits ~counts) then
+      add
+        (error Sched ~code:"SCHED002" (Step (bid, s))
+           "resource usage {%s} exceeds limits %s"
+           (String.concat ", "
+              (List.map
+                 (fun (cls, k) -> Printf.sprintf "%s:%d" (Op.fu_class_to_string cls) k)
+                 counts))
+           (Limits.to_string limits));
+    if s < Schedule.n_steps sched && Schedule.ops_in_step sched s = [] && not (writes_at s)
+    then
+      add
+        (warning Sched ~code:"SCHED003" (Step (bid, s))
+           "step holds no operation and latches no value")
+  done;
+  List.rev !ds
+
+let check ?(limits = Limits.Unlimited) cs =
+  List.concat_map
+    (fun bid -> check_block ~limits ~bid (Cfg_sched.block_schedule cs bid))
+    (Cfg.block_ids (Cfg_sched.cfg cs))

@@ -1,0 +1,29 @@
+(** Schedule legality: the contract allocation and binding assume of a
+    whole-program schedule.
+
+    Rules:
+    - [SCHED001] (error) — a dependence is violated: a step-occupying
+      operation starts no later than the step in which an operand's
+      value is produced (free chains included, per the step conventions
+      of {!Hls_sched.Schedule});
+    - [SCHED002] (error) — a control step uses more functional units of
+      some class than the resource limits allow;
+    - [SCHED003] (warning) — a control step before the block's last one
+      holds no operation and latches no value (a scheduler artifact
+      that lengthens the schedule for nothing). *)
+
+val rules : (string * string) list
+
+val check : ?limits:Hls_sched.Limits.t -> Hls_sched.Cfg_sched.t -> Diagnostic.t list
+(** [limits] defaults to [Unlimited] (dependence checking only). Pass
+    the limits the scheduler was constrained by — or [Unlimited] for
+    time-constrained schedulers that ignore them — to also enforce
+    [SCHED002]. *)
+
+val check_block :
+  ?limits:Hls_sched.Limits.t ->
+  bid:Hls_cdfg.Cfg.bid ->
+  Hls_sched.Schedule.t ->
+  Diagnostic.t list
+(** Same rules on a single block's schedule; [bid] only labels the
+    reported entities. *)

@@ -135,7 +135,7 @@ let memo t ctr tbl key compute =
         v
   end
 
-let eval t (options : Flow.options) =
+let eval ?(verify = false) t (options : Flow.options) =
   let c =
     memo t t.n_front t.front () (fun () ->
         match t.source with
@@ -161,11 +161,15 @@ let eval t (options : Flow.options) =
       options.encoding )
   in
   let d = memo t t.n_back t.backs bkey (fun () -> Flow.complete options o ~sched) in
-  { d with Flow.options }
+  (* lint the rewrapped design, outside the memo: a backend cache hit is
+     verified under the point's own options exactly like a fresh run *)
+  let d = { d with Flow.options } in
+  if verify then Flow.lint_check d;
+  d
 
-let run ?(jobs = 1) t options_list =
+let run ?(jobs = 1) ?verify t options_list =
   (* oversubscribing domains past the hardware buys nothing and costs
      stop-the-world minor-GC synchronization; clamp to what the runtime
      says can actually run in parallel *)
   let jobs = min jobs (Domain.recommended_domain_count ()) in
-  Hls_util.Pool.map ~jobs (eval t) options_list
+  Hls_util.Pool.map ~jobs (eval ?verify t) options_list

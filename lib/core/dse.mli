@@ -35,12 +35,15 @@ val create : ?memoize:bool -> string -> t
 val create_program : ?memoize:bool -> Ast.program -> t
 (** Engine over an already-parsed program. *)
 
-val eval : t -> Flow.options -> Flow.design
+val eval : ?verify:bool -> t -> Flow.options -> Flow.design
 (** Evaluate one option point through the cache. The returned design
     carries exactly the options given (a backend cache hit is rewrapped).
+    With [~verify:true] (default [false]) the returned design — rewrapped
+    or fresh, cache hits and misses alike — is run through {!Flow.lint}
+    and {!Flow.Lint_failed} is raised on any error-severity diagnostic.
     Raises as {!Flow.synthesize} does. *)
 
-val run : ?jobs:int -> t -> Flow.options list -> Flow.design list
+val run : ?jobs:int -> ?verify:bool -> t -> Flow.options list -> Flow.design list
 (** Evaluate the points on [jobs] worker domains ([<= 1] stays on the
     calling domain); results in input order. [jobs] is clamped to
     [Domain.recommended_domain_count ()] — domains beyond the

@@ -1,6 +1,16 @@
 open Hls_lang
 open Hls_sched
 
+exception Lint_failed of Hls_analysis.Diagnostic.t list
+
+let () =
+  Printexc.register_printer (function
+    | Lint_failed ds ->
+        Some
+          (Printf.sprintf "Lint_failed: %s"
+             (String.concat "; " (List.map Hls_analysis.Diagnostic.to_string ds)))
+    | _ -> None)
+
 type scheduler =
   | Asap
   | List_path
@@ -143,7 +153,114 @@ let schedule options o =
           invalid_arg (Printf.sprintf "Flow: scheduler produced invalid schedule: %s" e));
       sched)
 
-let complete options o ~sched =
+(* ---- design-level lint ------------------------------------------------ *)
+
+let effective_limits options =
+  if scheduler_ignores_limits options.scheduler then Limits.Unlimited else options.limits
+
+(* The microcoded-control image of the design: one word per state, a
+   register-enable bit per physical register plus an op-select and a
+   branch flag (the same shape the microcode experiments cost). *)
+let microcode_image (d : design) =
+  let dp = d.datapath in
+  let regs = dp.Hls_rtl.Datapath.regs in
+  let n_regs = List.length regs in
+  let fields =
+    [
+      { Hls_ctrl.Microcode.fname = "reg_en"; fwidth = max 1 n_regs };
+      { Hls_ctrl.Microcode.fname = "fu_op"; fwidth = 5 };
+      { Hls_ctrl.Microcode.fname = "branch"; fwidth = 1 };
+    ]
+  in
+  let words =
+    Array.init
+      (Hls_ctrl.Fsm.n_states dp.Hls_rtl.Datapath.fsm)
+      (fun sid ->
+        let loads = Hls_rtl.Datapath.loads_in dp sid in
+        let enables =
+          List.mapi
+            (fun i (r : Hls_rtl.Datapath.reg_def) ->
+              if
+                List.exists
+                  (fun (l : Hls_rtl.Datapath.load) ->
+                    l.Hls_rtl.Datapath.l_reg = r.Hls_rtl.Datapath.rname)
+                  loads
+              then 1 lsl i
+              else 0)
+            regs
+          |> List.fold_left ( lor ) 0
+        in
+        let op_code =
+          match Hls_rtl.Datapath.activities_in dp sid with
+          | a :: _ -> Hashtbl.hash a.Hls_rtl.Datapath.a_op land 0x1F
+          | [] -> 0
+        in
+        let branchy = if Hls_rtl.Datapath.cond_wire dp sid <> None then 1 else 0 in
+        [ enables; op_code; branchy ])
+  in
+  (fields, words)
+
+(* CTRL010: microcode fields addressing dead resources — a reg_en bit
+   for a register the state never loads, or a branch flag in a state
+   with no condition wire. *)
+let lint_microcode (d : design) ~words =
+  let open Hls_analysis.Diagnostic in
+  let dp = d.datapath in
+  let regs = Array.of_list dp.Hls_rtl.Datapath.regs in
+  let ds = ref [] in
+  Array.iteri
+    (fun sid word ->
+      match word with
+      | [ enables; _; branchy ] ->
+          for i = 0 to Array.length regs - 1 do
+            let rname = regs.(i).Hls_rtl.Datapath.rname in
+            let loaded =
+              List.exists
+                (fun (l : Hls_rtl.Datapath.load) -> l.Hls_rtl.Datapath.l_reg = rname)
+                (Hls_rtl.Datapath.loads_in dp sid)
+            in
+            if enables land (1 lsl i) <> 0 && not loaded then
+              ds :=
+                error Ctrl ~code:"CTRL010" (Field "reg_en")
+                  "state %d enables register %s which the datapath never loads there" sid
+                  rname
+                :: !ds
+          done;
+          if branchy <> 0 && Hls_rtl.Datapath.cond_wire dp sid = None then
+            ds :=
+              error Ctrl ~code:"CTRL010" (Field "branch")
+                "state %d asserts the branch flag without a condition wire" sid
+              :: !ds
+      | _ -> ())
+    words;
+  List.rev !ds
+
+let lint (d : design) =
+  let outputs = output_names d.prog in
+  let limits = effective_limits d.options in
+  let fsm = d.datapath.Hls_rtl.Datapath.fsm in
+  let fields, words = microcode_image d in
+  Hls_analysis.Cdfg_check.check d.cfg
+  @ Hls_analysis.Sched_check.check ~limits d.sched
+  @ Hls_analysis.Alloc_check.check_fu d.sched d.fu
+  @ Hls_analysis.Alloc_check.check_registers d.sched
+      ~temp_track:(Hls_alloc.Reg_alloc.temp_track d.regs)
+      ~groups:(Hls_alloc.Reg_alloc.variable_groups d.regs)
+      ~outputs
+  @ Hls_analysis.Alloc_check.check_transfers d.sched ~fu:d.fu ~regs:d.regs d.transfers
+  @ Hls_rtl.Check.diagnostics d.datapath
+  @ Hls_analysis.Ctrl_check.check_fsm_t fsm
+  @ Hls_analysis.Ctrl_check.check_synth d.controller fsm
+  @ Hls_analysis.Ctrl_check.check_microcode ~fields ~words
+  @ lint_microcode d ~words
+  |> Hls_analysis.Diagnostic.sort
+
+let lint_check d =
+  match Hls_analysis.Diagnostic.errors (lint d) with
+  | [] -> ()
+  | es -> raise (Lint_failed es)
+
+let complete ?(verify = false) options o ~sched =
   let prog = o.o_prog in
   let fu, regs, transfers =
     Timing.time "allocate" (fun () ->
@@ -166,9 +283,7 @@ let complete options o ~sched =
         let datapath = Hls_rtl.Datapath.build sched ~fu ~regs ~ports:(ports_of prog) in
         (match Hls_rtl.Check.run datapath with
         | Ok () -> ()
-        | Error es ->
-            failwith
-              (Printf.sprintf "Flow: datapath checks failed: %s" (String.concat "; " es)));
+        | Error ds -> raise (Lint_failed ds));
         datapath)
   in
   let controller =
@@ -179,17 +294,21 @@ let complete options o ~sched =
     Timing.time "estimate" (fun () ->
         Hls_rtl.Estimate.estimate ~style:options.encoding ~ctrl:controller datapath sched)
   in
-  { options; prog; cfg = o.o_cfg; sched; fu; regs; transfers; datapath; controller; estimate }
+  let d =
+    { options; prog; cfg = o.o_cfg; sched; fu; regs; transfers; datapath; controller; estimate }
+  in
+  if verify then Timing.time "lint" (fun () -> lint_check d);
+  d
 
-let backend options o = complete options o ~sched:(schedule options o)
+let backend ?verify options o = complete ?verify options o ~sched:(schedule options o)
 
-let synthesize_program ?(options = default_options) ast =
-  backend options
+let synthesize_program ?(options = default_options) ?verify ast =
+  backend ?verify options
     (midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion
        (frontend_program ast))
 
-let synthesize ?(options = default_options) src =
-  backend options
+let synthesize ?(options = default_options) ?verify src =
+  backend ?verify options
     (midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion
        (frontend src))
 

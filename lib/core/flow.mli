@@ -6,6 +6,12 @@
 open Hls_lang
 open Hls_sched
 
+exception Lint_failed of Hls_analysis.Diagnostic.t list
+(** Raised (by {!complete} and friends when [~verify:true], and by the
+    always-on datapath check) with the full structured error list when a
+    produced design fails verification. A printer is registered, so an
+    uncaught [Lint_failed] renders every diagnostic. *)
+
 type scheduler =
   | Asap
   | List_path  (** list scheduling, critical-path priority *)
@@ -84,12 +90,13 @@ val schedule : options -> optimized -> Cfg_sched.t
     limits too unless {!scheduler_ignores_limits}). Raises
     [Invalid_argument] if the scheduler breaks its contract. *)
 
-val complete : options -> optimized -> sched:Cfg_sched.t -> design
+val complete : ?verify:bool -> options -> optimized -> sched:Cfg_sched.t -> design
 (** Allocation, binding, control synthesis and estimation on top of an
-    existing schedule. Raises [Failure] if the produced datapath fails
-    the structural netlist checks. *)
+    existing schedule. Raises {!Lint_failed} if the produced datapath
+    fails the structural netlist checks, and — when [~verify:true]
+    (default [false]) — if the full design {!lint} reports any error. *)
 
-val backend : options -> optimized -> design
+val backend : ?verify:bool -> options -> optimized -> design
 (** [schedule] then [complete]. *)
 
 val scheduler_ignores_limits : scheduler -> bool
@@ -97,14 +104,44 @@ val scheduler_ignores_limits : scheduler -> bool
     their own deadline and ignore [options.limits]; their schedules are
     verified (and may be cached) independently of the limits. *)
 
-val synthesize_program : ?options:options -> Ast.program -> design
+val synthesize_program : ?options:options -> ?verify:bool -> Ast.program -> design
 (** The full flow: [frontend_program] → [midend] → [backend]. Raises
     {!Ast.Frontend_error} on bad input, [Invalid_argument] if an
-    internal consistency check fails, and [Failure] if the produced
-    datapath fails the structural netlist checks. *)
+    internal consistency check fails, and {!Lint_failed} if the produced
+    datapath fails the structural netlist checks (or, with
+    [~verify:true], if the design lint reports any error). *)
 
-val synthesize : ?options:options -> string -> design
+val synthesize : ?options:options -> ?verify:bool -> string -> design
 (** Parse BSL source text and synthesize. *)
+
+(** {2 Design lint}
+
+    Every checker of {!Hls_analysis} plus the netlist rules of
+    {!Hls_rtl.Check}, run over one finished design. *)
+
+val lint : design -> Hls_analysis.Diagnostic.t list
+(** All diagnostics for the design, sorted with
+    {!Hls_analysis.Diagnostic.sort}: CDFG well-formedness, schedule
+    legality (under the design's effective limits), allocation/binding
+    soundness, netlist structure, controller consistency and the
+    microcode image. An empty list means the design is clean. *)
+
+val lint_check : design -> unit
+(** Raise {!Lint_failed} with the error-severity subset of {!lint} if
+    it is non-empty. *)
+
+val microcode_image :
+  design -> Hls_ctrl.Microcode.field list * int list array
+(** The microcoded-control image linted by {!lint}: fields [reg_en]
+    (one-hot over the datapath registers), [fu_op] and [branch], and
+    one word per FSM state. Exposed so tests can mutate the image and
+    feed it back through {!lint_microcode}. *)
+
+val lint_microcode :
+  design -> words:int list array -> Hls_analysis.Diagnostic.t list
+(** CTRL010 — microcode fields addressing dead resources: a [reg_en]
+    bit set for a register the state never loads, or a [branch] flag in
+    a state with no condition wire. *)
 
 val ports_of : Typed.tprogram -> (string * [ `In | `Out ] * Ast.ty) list
 val output_names : Typed.tprogram -> string list

@@ -1,0 +1,39 @@
+module D = Hls_analysis.Diagnostic
+
+let rules =
+  Hls_analysis.Cdfg_check.rules
+  @ Hls_analysis.Sched_check.rules
+  @ Hls_analysis.Alloc_check.rules
+  @ Hls_rtl.Check.rules
+  @ Hls_analysis.Ctrl_check.rules
+  @ [ ("CTRL010", "microcode field addresses a dead resource") ]
+
+let run ?(floor = D.Info) d = D.filter ~floor (Flow.lint d)
+let has_errors ds = D.errors ds <> []
+
+let count sev ds = List.length (List.filter (fun (d : D.t) -> d.D.severity = sev) ds)
+
+let render ~name ds =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (D.to_string d);
+      Buffer.add_char buf '\n')
+    ds;
+  Buffer.add_string buf (Printf.sprintf "%s: %s\n" name (D.summary ds));
+  Buffer.contents buf
+
+let to_json ~name ds =
+  Hls_util.Json.Obj
+    [
+      ("name", Hls_util.Json.Str name);
+      ("summary", Hls_util.Json.Str (D.summary ds));
+      ("errors", Hls_util.Json.Num (float_of_int (count D.Error ds)));
+      ("warnings", Hls_util.Json.Num (float_of_int (count D.Warning ds)));
+      ("diagnostics", Hls_util.Json.Arr (List.map D.to_json ds));
+    ]
+
+let rules_table () =
+  let width = List.fold_left (fun w (c, _) -> max w (String.length c)) 0 rules in
+  String.concat ""
+    (List.map (fun (code, doc) -> Printf.sprintf "%-*s  %s\n" width code doc) rules)

@@ -1,0 +1,29 @@
+(** Lint driver: run every checker over a finished design and render
+    the diagnostics for people ([hlsc lint]) or machines ([--json]).
+
+    The checking itself is {!Flow.lint}; this module adds the
+    severity-floor filtering, the text/JSON presentation and the
+    aggregated rule table. *)
+
+val rules : (string * string) list
+(** Every rule code with its one-line description, in pipeline order:
+    CDFG well-formedness, schedule legality, allocation/binding
+    soundness, netlist structure, controller/microcode consistency. *)
+
+val run : ?floor:Hls_analysis.Diagnostic.severity -> Flow.design -> Hls_analysis.Diagnostic.t list
+(** {!Flow.lint} restricted to diagnostics at or above [floor]
+    (default [Info], i.e. everything), sorted for reporting. *)
+
+val has_errors : Hls_analysis.Diagnostic.t list -> bool
+
+val render : name:string -> Hls_analysis.Diagnostic.t list -> string
+(** Human-readable report: one line per diagnostic plus a summary
+    line, e.g. ["gcd: clean"] or ["diffeq: 2 errors, 1 warning"]. *)
+
+val to_json : name:string -> Hls_analysis.Diagnostic.t list -> Hls_util.Json.t
+(** [{ "name": ..., "summary": ..., "errors": n, "warnings": n,
+    "diagnostics": [...] }] with each diagnostic serialized by
+    {!Hls_analysis.Diagnostic.to_json}. *)
+
+val rules_table : unit -> string
+(** The {!rules} list formatted as an aligned two-column table. *)

@@ -1,11 +1,35 @@
-let run (dp : Datapath.t) =
-  let errors = ref [] in
-  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
-  let reg_exists name = List.exists (fun (r : Datapath.reg_def) -> r.Datapath.rname = name) dp.Datapath.regs in
-  let check_wire ctx w =
+open Hls_analysis.Diagnostic
+
+let rules =
+  [
+    ("RTL001", "wire reads a register that does not exist");
+    ("RTL002", "functional unit activated twice in one state");
+    ("RTL003", "bound component cannot execute an activation's operation");
+    ("RTL004", "unit input chains another unit's output in the same state");
+    ("RTL005", "register driven by two loads in one state");
+    ("RTL006", "load targets a register that does not exist");
+    ("RTL007", "wire consumes the output of an idle unit");
+    ("RTL008", "state branches without a condition wire");
+    ("RTL009", "activation references a unit that does not exist");
+  ]
+
+let diagnostics (dp : Datapath.t) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let reg_exists name =
+    List.exists (fun (r : Datapath.reg_def) -> r.Datapath.rname = name) dp.Datapath.regs
+  in
+  let check_wire entity ctx w =
     List.iter
-      (fun r -> if not (reg_exists r) then err "%s reads missing register %s" ctx r)
+      (fun r ->
+        if not (reg_exists r) then
+          add (error Rtl ~code:"RTL001" entity "%s reads missing register %s" ctx r))
       (Wire.regs_read w)
+  in
+  let active fu state =
+    List.exists
+      (fun (a : Datapath.activity) -> a.Datapath.a_fu = fu && a.Datapath.a_state = state)
+      dp.Datapath.activities
   in
   (* activations *)
   let seen_fu_state = Hashtbl.create 32 in
@@ -13,22 +37,37 @@ let run (dp : Datapath.t) =
     (fun (a : Datapath.activity) ->
       let key = (a.Datapath.a_fu, a.Datapath.a_state) in
       if Hashtbl.mem seen_fu_state key then
-        err "functional unit %d double-booked in state %d" a.Datapath.a_fu a.Datapath.a_state
+        add
+          (error Rtl ~code:"RTL002" (Fu a.Datapath.a_fu)
+             "functional unit %d double-booked in state %d" a.Datapath.a_fu
+             a.Datapath.a_state)
       else Hashtbl.add seen_fu_state key ();
-      (match List.find_opt (fun (f : Datapath.fu_def) -> f.Datapath.fuid = a.Datapath.a_fu) dp.Datapath.fus with
-      | None -> err "activation references missing unit %d" a.Datapath.a_fu
+      (match
+         List.find_opt
+           (fun (f : Datapath.fu_def) -> f.Datapath.fuid = a.Datapath.a_fu)
+           dp.Datapath.fus
+       with
+      | None ->
+          add
+            (error Rtl ~code:"RTL009" (State a.Datapath.a_state)
+               "activation references missing unit %d" a.Datapath.a_fu)
       | Some f ->
           if not (f.Datapath.comp.Component.executes a.Datapath.a_op) then
-            err "unit %d (%s) cannot execute %s" f.Datapath.fuid
-              f.Datapath.comp.Component.cname
-              (Hls_cdfg.Op.to_string a.Datapath.a_op));
-      List.iter (check_wire (Printf.sprintf "fu%d input" a.Datapath.a_fu)) a.Datapath.a_args;
+            add
+              (error Rtl ~code:"RTL003" (Fu f.Datapath.fuid) "unit %d (%s) cannot execute %s"
+                 f.Datapath.fuid f.Datapath.comp.Component.cname
+                 (Hls_cdfg.Op.to_string a.Datapath.a_op)));
+      List.iter
+        (check_wire (Fu a.Datapath.a_fu) (Printf.sprintf "fu%d input" a.Datapath.a_fu))
+        a.Datapath.a_args;
       (* FU inputs must not depend on same-state FU outputs *)
       List.iter
         (fun w ->
           if Wire.fus_read w <> [] then
-            err "unit %d input chains another unit's output in state %d (unsupported chaining)"
-              a.Datapath.a_fu a.Datapath.a_state)
+            add
+              (error Rtl ~code:"RTL004" (Fu a.Datapath.a_fu)
+                 "unit %d input chains another unit's output in state %d (unsupported chaining)"
+                 a.Datapath.a_fu a.Datapath.a_state))
         a.Datapath.a_args)
     dp.Datapath.activities;
   (* loads *)
@@ -37,22 +76,25 @@ let run (dp : Datapath.t) =
     (fun (l : Datapath.load) ->
       let key = (l.Datapath.l_reg, l.Datapath.l_state) in
       if Hashtbl.mem seen_reg_state key then
-        err "register %s double-driven in state %d" l.Datapath.l_reg l.Datapath.l_state
+        add
+          (error Rtl ~code:"RTL005" (Register l.Datapath.l_reg)
+             "register %s double-driven in state %d" l.Datapath.l_reg l.Datapath.l_state)
       else Hashtbl.add seen_reg_state key ();
-      if not (reg_exists l.Datapath.l_reg) then err "load into missing register %s" l.Datapath.l_reg;
-      check_wire (Printf.sprintf "load of %s" l.Datapath.l_reg) l.Datapath.l_wire;
+      if not (reg_exists l.Datapath.l_reg) then
+        add
+          (error Rtl ~code:"RTL006" (Register l.Datapath.l_reg)
+             "load into missing register %s" l.Datapath.l_reg);
+      check_wire (Register l.Datapath.l_reg)
+        (Printf.sprintf "load of %s" l.Datapath.l_reg)
+        l.Datapath.l_wire;
       (* any FU outputs consumed must be active in this state *)
       List.iter
         (fun u ->
-          let active =
-            List.exists
-              (fun (a : Datapath.activity) ->
-                a.Datapath.a_fu = u && a.Datapath.a_state = l.Datapath.l_state)
-              dp.Datapath.activities
-          in
-          if not active then
-            err "load of %s in state %d consumes idle unit %d" l.Datapath.l_reg
-              l.Datapath.l_state u)
+          if not (active u l.Datapath.l_state) then
+            add
+              (error Rtl ~code:"RTL007" (Register l.Datapath.l_reg)
+                 "load of %s in state %d consumes idle unit %d" l.Datapath.l_reg
+                 l.Datapath.l_state u))
         (Wire.fus_read l.Datapath.l_wire))
     dp.Datapath.loads;
   (* branch conditions *)
@@ -61,20 +103,22 @@ let run (dp : Datapath.t) =
       match tr.Hls_ctrl.Fsm.t_guard with
       | Hls_ctrl.Fsm.G_cond _ ->
           if Datapath.cond_wire dp tr.Hls_ctrl.Fsm.t_from = None then
-            err "state %d branches without a condition wire" tr.Hls_ctrl.Fsm.t_from
+            add
+              (error Rtl ~code:"RTL008" (State tr.Hls_ctrl.Fsm.t_from)
+                 "state %d branches without a condition wire" tr.Hls_ctrl.Fsm.t_from)
       | Hls_ctrl.Fsm.G_always -> ())
     (Hls_ctrl.Fsm.transitions dp.Datapath.fsm);
   List.iter
     (fun (state, w) ->
-      check_wire (Printf.sprintf "condition of state %d" state) w;
+      check_wire (State state) (Printf.sprintf "condition of state %d" state) w;
       List.iter
         (fun u ->
-          let active =
-            List.exists
-              (fun (a : Datapath.activity) -> a.Datapath.a_fu = u && a.Datapath.a_state = state)
-              dp.Datapath.activities
-          in
-          if not active then err "condition of state %d consumes idle unit %d" state u)
+          if not (active u state) then
+            add
+              (error Rtl ~code:"RTL007" (State state)
+                 "condition of state %d consumes idle unit %d" state u))
         (Wire.fus_read w))
     dp.Datapath.conds;
-  match !errors with [] -> Ok () | es -> Error (List.rev es)
+  List.rev !ds
+
+let run dp = match diagnostics dp with [] -> Ok () | ds -> Error ds

@@ -1,12 +1,25 @@
-(** Structural sanity checks on a built datapath (netlist lint).
+(** Structural sanity checks on a built datapath (netlist lint), on the
+    shared diagnostic framework of {!Hls_analysis}.
 
-    Verified properties:
-    - every register referenced by a wire exists;
-    - at most one activation per functional unit per state, and the
-      unit's bound component can execute the activation's operation;
-    - at most one load per register per state (single driver);
-    - every functional-unit output consumed by a wire in a state comes
-      from a unit actually active in that state;
-    - every state of the FSM that branches has a condition wire. *)
+    Rules (all errors):
+    - [RTL001] — a wire reads a register that does not exist;
+    - [RTL002] — a functional unit is activated twice in one state;
+    - [RTL003] — a unit's bound component cannot execute an activation's
+      operation;
+    - [RTL004] — a unit input chains another unit's combinational
+      output in the same state (unsupported chaining);
+    - [RTL005] — a register is driven by two loads in one state;
+    - [RTL006] — a load targets a register that does not exist;
+    - [RTL007] — a wire consumes the output of a unit that is idle in
+      the wire's state;
+    - [RTL008] — a state branches without a condition wire;
+    - [RTL009] — an activation references a unit that does not exist. *)
 
-val run : Datapath.t -> (unit, string list) result
+val rules : (string * string) list
+(** [(code, one-line description)] for every rule above. *)
+
+val diagnostics : Datapath.t -> Hls_analysis.Diagnostic.t list
+(** All violations, in netlist order. *)
+
+val run : Datapath.t -> (unit, Hls_analysis.Diagnostic.t list) result
+(** [Ok ()] iff {!diagnostics} reports nothing. *)

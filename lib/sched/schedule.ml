@@ -50,7 +50,10 @@ let producer_step t id = t.produced.(id)
 let write_step t id =
   match Dfg.op t.g id with
   | Op.Write _ -> max 1 t.produced.(id)
-  | _ -> invalid_arg "Schedule.write_step: not a Write node"
+  | op ->
+      invalid_arg
+        (Printf.sprintf "Schedule.write_step: node %%%d is %s, not a Write" id
+           (Op.to_string op))
 
 let n_steps t = t.total
 

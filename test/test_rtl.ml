@@ -57,7 +57,9 @@ let test_all_workloads_check () =
       let d = Flow.synthesize src in
       match Check.run d.Flow.datapath with
       | Ok () -> ()
-      | Error es -> Alcotest.failf "%s: %s" name (String.concat "; " es))
+      | Error ds ->
+          Alcotest.failf "%s: %s" name
+            (String.concat "; " (List.map Hls_analysis.Diagnostic.to_string ds)))
     Workloads.all
 
 let test_check_catches_double_booking () =
@@ -72,6 +74,92 @@ let test_check_catches_double_booking () =
       (match Check.run broken with
       | Ok () -> Alcotest.fail "double booking not caught"
       | Error _ -> ())
+  | [] -> Alcotest.fail "no activities"
+
+(* ---- one failure test per Check rule ---- *)
+
+let expect_code code dp =
+  match Check.run dp with
+  | Ok () -> Alcotest.failf "%s not caught" code
+  | Error ds ->
+      Alcotest.(check bool) (code ^ " reported") true
+        (List.exists
+           (fun (d : Hls_analysis.Diagnostic.t) -> d.Hls_analysis.Diagnostic.code = code)
+           ds)
+
+let checked = lazy (Flow.synthesize Workloads.gcd)
+let checked_dp () = (Lazy.force checked).Flow.datapath
+let i8 = Hls_lang.Ast.Tint 8
+
+let test_rtl001_missing_reg_read () =
+  let dp = checked_dp () in
+  let reg = (List.hd dp.Datapath.regs).Datapath.rname in
+  let bad = { Datapath.l_state = 9999; l_reg = reg; l_wire = Wire.W_reg "ghost" } in
+  expect_code "RTL001" { dp with Datapath.loads = bad :: dp.Datapath.loads }
+
+let test_rtl002_double_booking () =
+  let dp = checked_dp () in
+  match dp.Datapath.activities with
+  | a :: _ -> expect_code "RTL002" { dp with Datapath.activities = a :: dp.Datapath.activities }
+  | [] -> Alcotest.fail "no activities"
+
+let test_rtl003_inexecutable_op () =
+  let dp = checked_dp () in
+  match
+    List.find_opt
+      (fun (a : Datapath.activity) ->
+        let f = Datapath.fu_of dp a.Datapath.a_fu in
+        not (f.Datapath.comp.Component.executes Op.Div))
+      dp.Datapath.activities
+  with
+  | Some a ->
+      let acts =
+        List.map
+          (fun (x : Datapath.activity) ->
+            if x == a then { x with Datapath.a_op = Op.Div } else x)
+          dp.Datapath.activities
+      in
+      expect_code "RTL003" { dp with Datapath.activities = acts }
+  | None -> Alcotest.fail "every unit divides"
+
+let test_rtl004_same_state_chaining () =
+  let dp = checked_dp () in
+  match dp.Datapath.activities with
+  | a :: rest ->
+      let chained = { a with Datapath.a_args = [ Wire.W_fu_out (a.Datapath.a_fu, i8) ] } in
+      expect_code "RTL004" { dp with Datapath.activities = chained :: rest }
+  | [] -> Alcotest.fail "no activities"
+
+let test_rtl005_double_drive () =
+  let dp = checked_dp () in
+  match dp.Datapath.loads with
+  | l :: _ -> expect_code "RTL005" { dp with Datapath.loads = l :: dp.Datapath.loads }
+  | [] -> Alcotest.fail "no loads"
+
+let test_rtl006_load_missing_reg () =
+  let dp = checked_dp () in
+  let bad = { Datapath.l_state = 9999; l_reg = "ghost"; l_wire = Wire.W_const (0, i8) } in
+  expect_code "RTL006" { dp with Datapath.loads = bad :: dp.Datapath.loads }
+
+let test_rtl007_idle_unit_consumed () =
+  let dp = checked_dp () in
+  let reg = (List.hd dp.Datapath.regs).Datapath.rname in
+  let fuid = (List.hd dp.Datapath.fus).Datapath.fuid in
+  (* state 9999 exists nowhere, so the unit is certainly idle there *)
+  let bad = { Datapath.l_state = 9999; l_reg = reg; l_wire = Wire.W_fu_out (fuid, i8) } in
+  expect_code "RTL007" { dp with Datapath.loads = bad :: dp.Datapath.loads }
+
+let test_rtl008_branch_without_cond () =
+  let dp = checked_dp () in
+  Alcotest.(check bool) "gcd branches" true (dp.Datapath.conds <> []);
+  expect_code "RTL008" { dp with Datapath.conds = [] }
+
+let test_rtl009_ghost_unit () =
+  let dp = checked_dp () in
+  match dp.Datapath.activities with
+  | a :: rest ->
+      expect_code "RTL009"
+        { dp with Datapath.activities = { a with Datapath.a_fu = 99 } :: rest }
   | [] -> Alcotest.fail "no activities"
 
 (* ---- emission ---- *)
@@ -132,6 +220,18 @@ let () =
         [
           Alcotest.test_case "all workloads pass checks" `Quick test_all_workloads_check;
           Alcotest.test_case "lint catches double booking" `Quick test_check_catches_double_booking;
+        ] );
+      ( "check rules",
+        [
+          Alcotest.test_case "RTL001 missing register read" `Quick test_rtl001_missing_reg_read;
+          Alcotest.test_case "RTL002 double booking" `Quick test_rtl002_double_booking;
+          Alcotest.test_case "RTL003 inexecutable op" `Quick test_rtl003_inexecutable_op;
+          Alcotest.test_case "RTL004 same-state chaining" `Quick test_rtl004_same_state_chaining;
+          Alcotest.test_case "RTL005 double drive" `Quick test_rtl005_double_drive;
+          Alcotest.test_case "RTL006 load into missing register" `Quick test_rtl006_load_missing_reg;
+          Alcotest.test_case "RTL007 idle unit consumed" `Quick test_rtl007_idle_unit_consumed;
+          Alcotest.test_case "RTL008 branch without cond" `Quick test_rtl008_branch_without_cond;
+          Alcotest.test_case "RTL009 ghost unit" `Quick test_rtl009_ghost_unit;
         ] );
       ( "emit",
         [
