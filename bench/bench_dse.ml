@@ -50,7 +50,8 @@ let layer_obj (l : Dse.layer) =
 let run_bench ~iters ~jobs ~out =
   let open Hls_util.Json in
   let sweep ~memoize ~jobs () =
-    Explore.sweep ~jobs ~engine:(Dse.create ~memoize src) src
+    let config = { Dse.default_config with Dse.jobs; memoize } in
+    Explore.sweep ~engine:(Dse.create ~config src) src
   in
   (* warm the code paths and allocator before anything is timed *)
   if iters > 1 then ignore (sweep ~memoize:false ~jobs:1 ());
@@ -64,9 +65,11 @@ let run_bench ~iters ~jobs ~out =
     let ps, t_serial = timed (sweep ~memoize:false ~jobs:1) in
     stages_serial := Timing.snapshot ();
     let p1, t_memo1 = timed (sweep ~memoize:true ~jobs:1) in
-    Timing.reset ();
-    let engine = Dse.create src in
-    let pn, t_memon = timed (fun () -> Explore.sweep ~jobs ~engine src) in
+    (* full trace reset (durations and counters) so the counter
+       snapshot embedded below covers exactly the last memo/N sweep *)
+    Hls_obs.Trace.reset ();
+    let engine = Dse.create ~config:{ Dse.default_config with Dse.jobs = jobs } src in
+    let pn, t_memon = timed (fun () -> Explore.sweep ~engine src) in
     stages_memo := Timing.snapshot ();
     cache := Some (Dse.stats engine);
     points := List.length ps;
@@ -91,8 +94,7 @@ let run_bench ~iters ~jobs ~out =
         ("points", Num (float_of_int !points));
         ("iters", Num (float_of_int iters));
         ("jobs_requested", Num (float_of_int jobs));
-        ( "workers_used",
-          Num (float_of_int (min jobs (Domain.recommended_domain_count ()))) );
+        ("workers_used", Num (float_of_int (min jobs !points)));
         ("identical_designs", Bool !identical);
         ("serial_ms", runs !serial_ms);
         ("memo_jobs1_ms", runs !memo1_ms);
@@ -109,6 +111,9 @@ let run_bench ~iters ~jobs ~out =
             ] );
         ("stages_serial_ms", stage_obj !stages_serial);
         ("stages_memo_ms", stage_obj !stages_memo);
+        (* trace counters from the last memo/N sweep: cache hit/miss
+           per layer, kernel work totals, pool queue behaviour *)
+        ("counters", Metrics.counters_json ());
       ]
   in
   let oc = open_out out in
@@ -155,6 +160,15 @@ let validate file =
       (match member "cache" json with
       | Some (Obj _) -> ()
       | _ -> fail "missing cache object");
+      (match member "counters" json with
+      | Some (Obj counters) ->
+          if
+            not
+              (List.exists
+                 (fun (k, _) -> String.length k > 4 && String.sub k 0 4 = "dse/")
+                 counters)
+          then fail "counters object has no dse/ entries"
+      | _ -> fail "missing counters object");
       if num "points" <= 0.0 then fail "no points";
       Printf.printf "%s: valid (%.0f points, memo/N speedup %.2fx)\n" file (num "points")
         (num "speedup_memo_jobsN")

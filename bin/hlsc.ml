@@ -3,38 +3,68 @@
    Subcommands:
      synth    synthesize a specification and print the design report
      run      synthesize and simulate the RTL on given inputs
-     explore  sweep resource limits and print the area/latency trade-off
-     examples list the built-in workloads *)
+     dse      sweep resource limits / schedulers and print the trade-off
+              (explore is kept as an alias)
+     lint     run every IR-level checker and report structured diagnostics
+     trace    synthesize under the event tracer and emit a Chrome trace
+     examples list the built-in workloads
+
+   Every subcommand shares one source term (positional FILE — a path or
+   a built-in workload name — or --example) and one options term (the
+   scheduler/limits/allocator/encoding flags), so each flag is spelled
+   and documented exactly once. *)
 
 open Cmdliner
 open Hls_core
 
+(* ---- shared source term ---- *)
+
 let read_source path_opt example_opt =
+  let of_name name =
+    match List.assoc_opt name Workloads.all with
+    | Some src -> Ok (name, src)
+    | None ->
+        Error
+          (Printf.sprintf "unknown example %s (try: %s)" name
+             (String.concat ", " (List.map fst Workloads.all)))
+  in
   match (path_opt, example_opt) with
   | Some path, None ->
-      let ic = open_in path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      Ok s
-  | None, Some name -> (
-      match List.assoc_opt name Workloads.all with
-      | Some src -> Ok src
-      | None ->
-          Error
-            (Printf.sprintf "unknown example %s (try: %s)" name
-               (String.concat ", " (List.map fst Workloads.all))))
+      if Sys.file_exists path then begin
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Ok (path, s)
+      end
+      else of_name path (* a bare workload name works positionally too *)
+  | None, Some name -> of_name name
   | Some _, Some _ -> Error "give either FILE or --example, not both"
-  | None, None -> Error "give a FILE or --example NAME"
+  | None, None -> Error "give a FILE, a built-in workload name, or --example NAME"
 
 let source_file =
-  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"BSL source file.")
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"BSL source file, or the name of a built-in workload.")
 
 let example =
   Arg.(
     value
     & opt (some string) None
     & info [ "example"; "e" ] ~docv:"NAME" ~doc:"Use a built-in workload.")
+
+let source_term = Term.(const (fun f e -> (f, e)) $ source_file $ example)
+
+(* continue with the named source, or print the source error and exit 1 *)
+let with_source (file, example) k =
+  match read_source file example with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+  | Ok (name, src) -> k ~name ~src
+
+(* ---- shared options term ---- *)
 
 let opt_level =
   Arg.(
@@ -86,18 +116,6 @@ let encoding =
         Hls_ctrl.Encoding.Binary
     & info [ "encoding" ] ~docv:"STYLE" ~doc:"State encoding (binary|gray|one-hot).")
 
-let verilog_out =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "emit-verilog" ] ~docv:"FILE" ~doc:"Write structural Verilog to FILE.")
-
-let dot_out =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "emit-dot" ] ~docv:"FILE" ~doc:"Write a datapath DOT graph to FILE.")
-
 let if_convert_flag =
   Arg.(value & flag & info [ "if-convert" ] ~doc:"Speculate small branch diamonds into muxes.")
 
@@ -110,23 +128,34 @@ let make_options opt_level if_conversion scheduler fus allocator encoding =
   { Flow.opt_level; if_conversion; scheduler; limits; allocator;
     share_variables = true; encoding }
 
-let handle_errors f =
-  try f () with
-  | Hls_lang.Ast.Frontend_error (pos, msg) ->
-      Printf.eprintf "error at %d:%d: %s\n" pos.Hls_lang.Ast.line pos.Hls_lang.Ast.col msg;
-      exit 1
-  | Flow.Lint_failed ds ->
-      List.iter
-        (fun d -> Printf.eprintf "%s\n" (Hls_analysis.Diagnostic.to_string d))
-        ds;
-      Printf.eprintf "error: design failed verification (%s)\n"
-        (Hls_analysis.Diagnostic.summary ds);
-      exit 1
-  | Invalid_argument msg | Failure msg ->
-      Printf.eprintf "error: %s\n" msg;
-      exit 1
+let options_term =
+  Term.(
+    const make_options $ opt_level $ if_convert_flag $ scheduler $ fus $ allocator
+    $ encoding)
 
-(* ---- synth ---- *)
+(* ---- shared tracing/metrics flags ---- *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Evaluate sweep points on N worker domains (clamped to the \
+           hardware's recommended domain count).")
+
+let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+
+let trace_out_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Capture pipeline spans and write a Chrome trace_event JSON to FILE.")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Print the counter totals after the run.")
 
 let verify_flag =
   Arg.(
@@ -134,46 +163,95 @@ let verify_flag =
     & info [ "verify" ]
         ~doc:"Run the full design lint after synthesis and fail on any error.")
 
+let start_tracing trace_out =
+  (* a fresh window either way; span capture only when asked for *)
+  Hls_obs.Trace.reset ();
+  if trace_out <> None then Hls_obs.Trace.enable ()
+
+let write_chrome_trace path =
+  let text = Hls_util.Json.to_string (Metrics.chrome_trace ()) in
+  if path = "-" then print_string text
+  else begin
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
+
+let finish_tracing trace_out metrics =
+  Option.iter write_chrome_trace trace_out;
+  if metrics then print_string (Metrics.render_counters ())
+
+let report_lint_failure ds =
+  List.iter (fun d -> Printf.eprintf "%s\n" (Hls_analysis.Diagnostic.to_string d)) ds;
+  Printf.eprintf "error: design failed verification (%s)\n"
+    (Hls_analysis.Diagnostic.summary ds);
+  exit 1
+
+let handle_errors f =
+  try f () with
+  | Hls_lang.Ast.Frontend_error (pos, msg) ->
+      Printf.eprintf "error at %d:%d: %s\n" pos.Hls_lang.Ast.line pos.Hls_lang.Ast.col msg;
+      exit 1
+  | Flow.Lint_failed ds ->
+      (* legacy raising paths (e.g. a sweep point failing verification) *)
+      report_lint_failure ds
+  | Invalid_argument msg | Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+(* ---- synth ---- *)
+
+let verilog_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-verilog" ] ~docv:"FILE" ~doc:"Write structural Verilog to FILE.")
+
+let dot_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-dot" ] ~docv:"FILE" ~doc:"Write a datapath DOT graph to FILE.")
+
 let synth_cmd =
-  let run file example opt_level if_conv scheduler fus allocator encoding verify verilog_out
-      dot_out =
-    match read_source file example with
-    | Error e ->
-        Printf.eprintf "error: %s\n" e;
-        exit 1
-    | Ok src ->
+  let run source options verify verilog_out dot_out trace_out metrics =
+    with_source source (fun ~name:_ ~src ->
         handle_errors (fun () ->
-            let options = make_options opt_level if_conv scheduler fus allocator encoding in
-            let d = Flow.synthesize ~options ~verify src in
-            Report.print d;
-            (match Flow.verify ~runs:5 d with
-            | Ok () -> print_endline "co-simulation: behavioral = CDFG = RTL on 5 random vectors"
-            | Error e -> Printf.printf "co-simulation FAILED: %s\n" e);
-            (match verilog_out with
-            | Some path ->
-                let name = d.Flow.prog.Hls_lang.Typed.tname in
-                let oc = open_out path in
-                output_string oc (Hls_rtl.Emit.verilog ~name d.Flow.datapath);
-                close_out oc;
-                Printf.printf "wrote %s\n" path
-            | None -> ());
-            match dot_out with
-            | Some path ->
-                let oc = open_out path in
-                output_string oc (Hls_rtl.Emit.dot d.Flow.datapath);
-                close_out oc;
-                Printf.printf "wrote %s\n" path
-            | None -> ())
+            start_tracing trace_out;
+            match Flow.synthesize_result ~options ~verify src with
+            | Error ds -> report_lint_failure ds
+            | Ok d ->
+                Report.print d;
+                (match Flow.verify ~runs:5 d with
+                | Ok () ->
+                    print_endline
+                      "co-simulation: behavioral = CDFG = RTL on 5 random vectors"
+                | Error e -> Printf.printf "co-simulation FAILED: %s\n" e);
+                (match verilog_out with
+                | Some path ->
+                    let name = d.Flow.prog.Hls_lang.Typed.tname in
+                    let oc = open_out path in
+                    output_string oc (Hls_rtl.Emit.verilog ~name d.Flow.datapath);
+                    close_out oc;
+                    Printf.printf "wrote %s\n" path
+                | None -> ());
+                (match dot_out with
+                | Some path ->
+                    let oc = open_out path in
+                    output_string oc (Hls_rtl.Emit.dot d.Flow.datapath);
+                    close_out oc;
+                    Printf.printf "wrote %s\n" path
+                | None -> ());
+                finish_tracing trace_out metrics))
   in
   let info = Cmd.info "synth" ~doc:"Synthesize a behavioral specification to RTL." in
   Cmd.v info
     Term.(
-      const run $ source_file $ example $ opt_level $ if_convert_flag $ scheduler $ fus
-      $ allocator $ encoding $ verify_flag $ verilog_out $ dot_out)
+      const run $ source_term $ options_term $ verify_flag $ verilog_out $ dot_out
+      $ trace_out_flag $ metrics_flag)
 
 (* ---- lint ---- *)
-
-let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
 
 let matrix_flag =
   Arg.(
@@ -218,8 +296,7 @@ let lint_allocators =
   [ (`Clique, "clique"); (`Greedy_min_mux, "min-mux"); (`Greedy_first_fit, "first-fit") ]
 
 let lint_cmd =
-  let run file example all matrix json floor rules opt_level if_conv scheduler fus allocator
-      encoding =
+  let run source all matrix json floor rules base =
     if rules then begin
       print_string (Lint.rules_table ());
       exit 0
@@ -227,15 +304,9 @@ let lint_cmd =
     let sources =
       if all then Ok Workloads.all
       else
-        match read_source file example with
+        match read_source (fst source) (snd source) with
         | Error e -> Error e
-        | Ok src ->
-            let name =
-              match example with
-              | Some n -> n
-              | None -> Option.value file ~default:"design"
-            in
-            Ok [ (name, src) ]
+        | Ok (name, src) -> Ok [ (name, src) ]
     in
     match sources with
     | Error e ->
@@ -243,7 +314,6 @@ let lint_cmd =
         exit 2
     | Ok sources ->
         handle_errors (fun () ->
-            let base = make_options opt_level if_conv scheduler fus allocator encoding in
             let points =
               if matrix then
                 List.concat_map
@@ -269,7 +339,12 @@ let lint_cmd =
                               aname
                         | None -> name
                       in
-                      (label, Lint.run ~floor (Dse.eval eng options)))
+                      (* Result API: a design that fails the structural
+                         netlist checks is itself a lint report *)
+                      match Dse.eval_result eng options with
+                      | Ok d -> (label, Lint.run ~floor d)
+                      | Error ds ->
+                          (label, Hls_analysis.Diagnostic.filter ~floor ds))
                     points)
                 sources
             in
@@ -291,8 +366,8 @@ let lint_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ source_file $ example $ lint_all_flag $ matrix_flag $ json_flag $ floor_arg
-      $ rules_flag $ opt_level $ if_convert_flag $ scheduler $ fus $ allocator $ encoding)
+      const run $ source_term $ lint_all_flag $ matrix_flag $ json_flag $ floor_arg
+      $ rules_flag $ options_term)
 
 (* ---- run ---- *)
 
@@ -309,15 +384,14 @@ let vcd_out =
     & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump a VCD waveform of the run to FILE.")
 
 let run_cmd =
-  let run file example opt_level if_conv scheduler fus allocator encoding inputs vcd =
-    match read_source file example with
-    | Error e ->
-        Printf.eprintf "error: %s\n" e;
-        exit 1
-    | Ok src ->
+  let run source options inputs vcd =
+    with_source source (fun ~name:_ ~src ->
         handle_errors (fun () ->
-            let options = make_options opt_level if_conv scheduler fus allocator encoding in
-            let d = Flow.synthesize ~options src in
+            let d =
+              match Flow.synthesize_result ~options src with
+              | Ok d -> d
+              | Error ds -> report_lint_failure ds
+            in
             let port_ty name =
               match
                 List.find_opt (fun (n, _, _) -> n = name) (Flow.ports_of d.Flow.prog)
@@ -354,23 +428,12 @@ let run_cmd =
                     Printf.printf "%s = %g (raw %d)\n" name
                       (Hls_sim.Beh_sim.of_raw ty raw) raw
                 | None -> ())
-              (List.filter (fun (_, d, _) -> d = `Out) (Flow.ports_of d.Flow.prog)))
+              (List.filter (fun (_, d, _) -> d = `Out) (Flow.ports_of d.Flow.prog))))
   in
   let info = Cmd.info "run" ~doc:"Synthesize and simulate the RTL on given inputs." in
-  Cmd.v info
-    Term.(
-      const run $ source_file $ example $ opt_level $ if_convert_flag $ scheduler $ fus
-      $ allocator $ encoding $ inputs_arg $ vcd_out)
+  Cmd.v info Term.(const run $ source_term $ options_term $ inputs_arg $ vcd_out)
 
-(* ---- explore ---- *)
-
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Evaluate sweep points on N worker domains (clamped to the \
-           hardware's recommended domain count).")
+(* ---- dse (né explore) ---- *)
 
 let all_flag =
   Arg.(
@@ -383,32 +446,116 @@ let timings_flag =
     value & flag
     & info [ "timings" ] ~doc:"Append the per-stage wall-clock breakdown to the table.")
 
-let explore_cmd =
-  let run file example opt_level if_conv scheduler allocator encoding jobs all timings =
-    match read_source file example with
-    | Error e ->
-        Printf.eprintf "error: %s\n" e;
-        exit 1
-    | Ok src ->
+let dse_term =
+  let run source base jobs all timings trace_out metrics =
+    with_source source (fun ~name:_ ~src ->
         handle_errors (fun () ->
-            let base = make_options opt_level if_conv scheduler 2 allocator encoding in
-            Timing.reset ();
+            start_tracing trace_out;
+            let config = { Dse.default_config with Dse.jobs } in
             let points =
-              if all then Explore.sweep ~jobs ~base src
-              else Explore.sweep_limits ~jobs ~base src
+              if all then Explore.sweep ~config ~base src
+              else Explore.sweep_limits ~config ~base src
             in
-            print_string (Explore.table ~timings points))
+            print_string (Explore.table ~timings points);
+            finish_tracing trace_out metrics))
+  in
+  Term.(
+    const run $ source_term $ options_term $ jobs_arg $ all_flag $ timings_flag
+    $ trace_out_flag $ metrics_flag)
+
+let dse_doc =
+  "Sweep resource limits (or, with $(b,--all), the scheduler \\$(i,\\times) limits \
+   cross product) through the memoized DSE engine; print the trade-off table."
+
+let dse_cmd = Cmd.v (Cmd.info "dse" ~doc:dse_doc) dse_term
+let explore_cmd = Cmd.v (Cmd.info "explore" ~doc:(dse_doc ^ " (Alias of $(b,dse).)")) dse_term
+
+(* ---- trace ---- *)
+
+let trace_out_arg =
+  Arg.(
+    value & opt string "-"
+    & info [ "out"; "o" ] ~docv:"FILE"
+        ~doc:"Write the Chrome trace_event JSON to FILE (default stdout).")
+
+let sweep_flag =
+  Arg.(
+    value & flag
+    & info [ "sweep" ]
+        ~doc:"Trace the full scheduler \\$(i,\\times) limits sweep instead of one synthesis.")
+
+let validate_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "validate" ] ~docv:"FILE"
+        ~doc:
+          "Validate an emitted trace instead of synthesizing: parse FILE, check the \
+           trace_event shape and the pipeline-stage coverage.")
+
+let validate_trace file =
+  let ic =
+    try open_in file
+    with Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match Hls_util.Json.parse text with
+  | Error e ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file e;
+      exit 1
+  | Ok json -> (
+      match Metrics.validate_chrome json with
+      | Error e ->
+          Printf.eprintf "%s: invalid Chrome trace: %s\n" file e;
+          exit 1
+      | Ok () ->
+          let covered = Metrics.covered_stages json in
+          let missing =
+            List.filter (fun s -> not (List.mem s covered)) Metrics.pipeline_stages
+          in
+          if missing <> [] then begin
+            Printf.eprintf "%s: missing pipeline stages: %s\n" file
+              (String.concat ", " missing);
+            exit 1
+          end;
+          Printf.printf "%s: valid Chrome trace covering all %d pipeline stages\n" file
+            (List.length Metrics.pipeline_stages))
+
+let trace_cmd =
+  let run validate source options out sweep jobs metrics =
+    match validate with
+    | Some file -> validate_trace file
+    | None ->
+        with_source source (fun ~name:_ ~src ->
+            handle_errors (fun () ->
+                Hls_obs.Trace.reset ();
+                Hls_obs.Trace.enable ();
+                (if sweep then begin
+                   let config = { Dse.default_config with Dse.jobs } in
+                   ignore (Explore.sweep ~config ~base:options src)
+                 end
+                 else
+                   match Flow.synthesize_result ~options src with
+                   | Ok _ -> ()
+                   | Error ds -> report_lint_failure ds);
+                write_chrome_trace out;
+                if metrics then print_string (Metrics.render_counters ())))
   in
   let info =
-    Cmd.info "explore"
+    Cmd.info "trace"
       ~doc:
-        "Sweep resource limits (or, with $(b,--all), the scheduler \\$(i,\\times) limits \
-         cross product) through the memoized DSE engine; print the trade-off table."
+        "Synthesize (or, with $(b,--sweep), sweep) under the structured event tracer \
+         and emit the spans and counters as Chrome trace_event JSON \
+         (chrome://tracing, Perfetto). $(b,--validate) checks an emitted file instead."
   in
   Cmd.v info
     Term.(
-      const run $ source_file $ example $ opt_level $ if_convert_flag $ scheduler
-      $ allocator $ encoding $ jobs_arg $ all_flag $ timings_flag)
+      const run $ validate_arg $ source_term $ options_term $ trace_out_arg $ sweep_flag
+      $ jobs_arg $ metrics_flag)
 
 (* ---- examples ---- *)
 
@@ -424,4 +571,7 @@ let () =
     Cmd.info "hlsc" ~version:"1.0.0"
       ~doc:"High-level synthesis: behavioral specifications to RTL structures."
   in
-  exit (Cmd.eval (Cmd.group info [ synth_cmd; lint_cmd; run_cmd; explore_cmd; examples_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ synth_cmd; dse_cmd; explore_cmd; lint_cmd; trace_cmd; run_cmd; examples_cmd ]))

@@ -52,7 +52,9 @@ let () =
 
   print_newline ();
   Timing.reset ();
-  print_string (Explore.table ~timings:true (Explore.sweep_limits ~jobs:4 src));
+  print_string
+    (Explore.table ~timings:true
+       (Explore.sweep_limits ~config:{ Dse.default_config with Dse.jobs = 4 } src));
   print_newline ();
   match Flow.verify ~runs:20 design with
   | Ok () -> print_endline "co-simulation: 20 random vectors agree across all levels"

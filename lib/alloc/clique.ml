@@ -141,6 +141,7 @@ let partition ~n ~compatible =
       | None -> ()
       | Some (_, ga, gb) ->
           merge ga gb;
+          Hls_obs.Trace.incr "alloc/clique_merges";
           loop ()
     in
     loop ();

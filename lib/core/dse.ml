@@ -17,7 +17,15 @@ open Hls_sched
    scheduler that produced it: two option points whose schedulers place
    every operation identically share one allocation/binding/control
    synthesis, and the cached design is rewrapped with the point's own
-   options. *)
+   options.
+
+   Memoization is single-flight: a slot is either [Done] or [Pending],
+   and a worker that finds a key pending blocks on the engine's
+   condition variable until the computing worker publishes the value.
+   Exactly one compute ever runs per key, which is what makes every
+   kernel counter in Hls_obs.Trace — and the hit/miss totals below — a
+   deterministic function of the evaluated points, independent of the
+   worker count. *)
 
 type mkey = [ `None | `Standard | `Aggressive ] * bool
 type skey = mkey * Flow.scheduler * Limits.t
@@ -29,29 +37,37 @@ type bkey =
   * bool
   * Hls_ctrl.Encoding.style
 
+type config = { jobs : int; verify : bool; memoize : bool }
+
+let default_config = { jobs = 1; verify = false; memoize = true }
+
 type layer = { hits : int; misses : int }
 type stats = { frontend : layer; midend : layer; schedule : layer; backend : layer }
 
 type counter = { mutable c_hits : int; mutable c_misses : int }
+type 'v slot = Done of 'v | Pending
 
 type t = {
   lock : Mutex.t;
-  memoize : bool;
+  done_cond : Condition.t;
+  config : config;
   source : [ `Src of string | `Ast of Ast.program ];
-  front : (unit, Flow.compiled) Hashtbl.t;
-  mid : (mkey, Flow.optimized) Hashtbl.t;
-  scheds : (skey, Cfg_sched.t) Hashtbl.t;
-  backs : (bkey, Flow.design) Hashtbl.t;
+  front : (unit, Flow.compiled slot) Hashtbl.t;
+  mid : (mkey, Flow.optimized slot) Hashtbl.t;
+  scheds : (skey, Cfg_sched.t slot) Hashtbl.t;
+  backs :
+    (bkey, (Flow.design, Hls_analysis.Diagnostic.t list) result slot) Hashtbl.t;
   n_front : counter;
   n_mid : counter;
   n_sched : counter;
   n_back : counter;
 }
 
-let make_engine memoize source =
+let make_engine config source =
   {
     lock = Mutex.create ();
-    memoize;
+    done_cond = Condition.create ();
+    config;
     source;
     front = Hashtbl.create 1;
     mid = Hashtbl.create 8;
@@ -63,8 +79,9 @@ let make_engine memoize source =
     n_back = { c_hits = 0; c_misses = 0 };
   }
 
-let create ?(memoize = true) src = make_engine memoize (`Src src)
-let create_program ?(memoize = true) ast = make_engine memoize (`Ast ast)
+let create ?(config = default_config) src = make_engine config (`Src src)
+let create_program ?(config = default_config) ast = make_engine config (`Ast ast)
+let config t = t.config
 
 let clear t =
   Mutex.lock t.lock;
@@ -100,76 +117,145 @@ let pp_stats ppf s =
   line "schedule" s.schedule;
   line "backend" s.backend
 
-(* Check under the lock; compute unlocked (two workers racing on the
-   same key may duplicate work, but stage results are pure functions of
-   their keys, so whichever insert lands first is equivalent) — the
-   first writer wins and later computations adopt the stored value to
-   maximize sharing. *)
-let memo t ctr tbl key compute =
-  if not t.memoize then begin
+(* Single-flight memoization. The first prober of a key installs
+   [Pending], computes unlocked, publishes [Done] and broadcasts; later
+   probers of the same key count a hit and block until the value lands.
+   If the computing worker dies, the slot is removed, waiters are woken,
+   and the first to notice takes the compute over. Hit/miss counts are
+   decided at a probe's first look, so totals are identical for any
+   worker count: one miss per unique key, hits for every other probe. *)
+let memo t name ctr tbl key compute =
+  let bump_trace hit =
+    Hls_obs.Trace.incr
+      (if hit then "dse/" ^ name ^ ".hits" else "dse/" ^ name ^ ".misses")
+  in
+  if not t.config.memoize then begin
     Mutex.lock t.lock;
     ctr.c_misses <- ctr.c_misses + 1;
     Mutex.unlock t.lock;
+    bump_trace false;
     compute ()
   end
   else begin
+    (* called with [t.lock] held, returns with it released *)
+    let compute_slot () =
+      Hashtbl.replace tbl key Pending;
+      Mutex.unlock t.lock;
+      match compute () with
+      | v ->
+          Mutex.lock t.lock;
+          Hashtbl.replace tbl key (Done v);
+          Condition.broadcast t.done_cond;
+          Mutex.unlock t.lock;
+          v
+      | exception e ->
+          Mutex.lock t.lock;
+          Hashtbl.remove tbl key;
+          Condition.broadcast t.done_cond;
+          Mutex.unlock t.lock;
+          raise e
+    in
+    let rec await () =
+      match Hashtbl.find_opt tbl key with
+      | Some (Done v) ->
+          Mutex.unlock t.lock;
+          v
+      | Some Pending ->
+          Condition.wait t.done_cond t.lock;
+          await ()
+      | None -> compute_slot ()
+    in
     Mutex.lock t.lock;
     match Hashtbl.find_opt tbl key with
-    | Some v ->
+    | Some (Done v) ->
         ctr.c_hits <- ctr.c_hits + 1;
         Mutex.unlock t.lock;
+        bump_trace true;
+        v
+    | Some Pending ->
+        ctr.c_hits <- ctr.c_hits + 1;
+        let v = await () in
+        bump_trace true;
         v
     | None ->
         ctr.c_misses <- ctr.c_misses + 1;
-        Mutex.unlock t.lock;
-        let v = compute () in
-        Mutex.lock t.lock;
-        let v =
-          match Hashtbl.find_opt tbl key with
-          | Some winner -> winner
-          | None ->
-              Hashtbl.add tbl key v;
-              v
-        in
-        Mutex.unlock t.lock;
+        let v = compute_slot () in
+        bump_trace false;
         v
   end
 
-let eval ?(verify = false) t (options : Flow.options) =
-  let c =
-    memo t t.n_front t.front () (fun () ->
-        match t.source with
-        | `Src s -> Flow.frontend s
-        | `Ast a -> Flow.frontend_program a)
-  in
-  let mkey = (options.opt_level, options.if_conversion) in
-  let o =
-    memo t t.n_mid t.mid mkey (fun () ->
-        Flow.midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion c)
-  in
-  let canonical_limits =
-    if Flow.scheduler_ignores_limits options.scheduler then Limits.Unlimited
-    else options.limits
-  in
-  let skey = (mkey, options.scheduler, canonical_limits) in
-  let sched = memo t t.n_sched t.scheds skey (fun () -> Flow.schedule options o) in
-  let bkey =
-    ( mkey,
-      Cfg_sched.digest sched,
-      options.allocator,
-      options.share_variables,
-      options.encoding )
-  in
-  let d = memo t t.n_back t.backs bkey (fun () -> Flow.complete options o ~sched) in
-  (* lint the rewrapped design, outside the memo: a backend cache hit is
-     verified under the point's own options exactly like a fresh run *)
-  let d = { d with Flow.options } in
-  if verify then Flow.lint_check d;
-  d
+let point_args (options : Flow.options) =
+  [
+    ("opt_level", Flow.opt_level_to_string options.opt_level);
+    ("if_conversion", string_of_bool options.if_conversion);
+    ("scheduler", Flow.scheduler_to_string options.scheduler);
+    ("limits", Limits.to_string options.limits);
+    ("allocator", Flow.allocator_to_string options.allocator);
+    ("encoding", Hls_ctrl.Encoding.style_to_string options.encoding);
+  ]
 
-let run ?(jobs = 1) ?verify t options_list =
-  (* oversubscribing domains past the hardware buys nothing and costs
-     stop-the-world minor-GC synchronization; clamp to what the runtime
-     says can actually run in parallel *)
-  let jobs = min jobs (Domain.recommended_domain_count ()) in
-  Hls_util.Pool.map ~jobs (eval ?verify t) options_list
+let eval_result t (options : Flow.options) =
+  Hls_obs.Trace.with_span "dse/point" ~args:(point_args options) (fun () ->
+      Hls_obs.Trace.incr "dse/points";
+      let c =
+        memo t "frontend" t.n_front t.front () (fun () ->
+            match t.source with
+            | `Src s -> Flow.frontend s
+            | `Ast a -> Flow.frontend_program a)
+      in
+      let mkey = (options.opt_level, options.if_conversion) in
+      let o =
+        memo t "midend" t.n_mid t.mid mkey (fun () ->
+            Flow.midend ~opt_level:options.opt_level
+              ~if_conversion:options.if_conversion c)
+      in
+      let canonical_limits =
+        if Flow.scheduler_ignores_limits options.scheduler then Limits.Unlimited
+        else options.limits
+      in
+      let skey = (mkey, options.scheduler, canonical_limits) in
+      let sched =
+        memo t "schedule" t.n_sched t.scheds skey (fun () -> Flow.schedule options o)
+      in
+      let bkey =
+        ( mkey,
+          Cfg_sched.digest sched,
+          options.allocator,
+          options.share_variables,
+          options.encoding )
+      in
+      match
+        memo t "backend" t.n_back t.backs bkey (fun () ->
+            Flow.complete_result options o ~sched)
+      with
+      | Error ds ->
+          (* a structural netlist failure is as cacheable as a design:
+             every point probing this backend key reports the same
+             diagnostics *)
+          Error ds
+      | Ok d ->
+          (* lint the rewrapped design, outside the memo: a backend cache
+             hit is verified under the point's own options exactly like a
+             fresh run *)
+          let d = { d with Flow.options } in
+          if t.config.verify then
+            Hls_obs.Trace.with_span "lint" (fun () ->
+                match Hls_analysis.Diagnostic.errors (Flow.lint d) with
+                | [] -> Ok d
+                | es -> Error es)
+          else Ok d)
+
+let eval t options =
+  match eval_result t options with Ok d -> d | Error ds -> raise (Flow.Lint_failed ds)
+
+let run_result t options_list =
+  (* jobs as configured, not clamped to the hardware: the single-flight
+     cache makes counter totals worker-count independent, and tests rely
+     on jobs > 1 actually spawning domains even on small machines
+     (Pool.map still caps workers at the number of points) *)
+  Hls_util.Pool.map ~jobs:t.config.jobs (eval_result t) options_list
+
+let run t options_list =
+  List.map
+    (function Ok d -> d | Error ds -> raise (Flow.Lint_failed ds))
+    (run_result t options_list)

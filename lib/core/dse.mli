@@ -15,50 +15,82 @@
       encoding)] — points whose schedulers happen to place every
       operation identically share one backend run.
 
-    {!run} evaluates a point list on a {!Hls_util.Pool} of worker
-    domains. Results are returned in input order and are identical for
-    any [jobs] value: every stage is a deterministic pure function of
-    its cache key, so racing workers can at worst duplicate work, never
-    change a result (first writer wins; later workers adopt the stored
-    value). An engine may be reused across calls — the cache carries
-    over, which is the point. *)
+    How an engine evaluates is a {!config} record fixed at creation,
+    mirroring how {!Flow.options} fixes what is synthesized. {!run}
+    evaluates a point list on a {!Hls_util.Pool} of [config.jobs]
+    worker domains. Results are returned in input order and are
+    identical for any job count: memoization is {e single-flight} —
+    workers racing on one key block until the first computes it — so
+    each stage runs exactly once per unique key. That also makes the
+    cache hit/miss totals and every kernel counter reported through
+    {!Hls_obs.Trace} deterministic across job counts. An engine may be
+    reused across calls — the cache carries over, which is the point.
+
+    Each layer also reports global trace counters
+    ([dse/frontend.hits], [dse/backend.misses], ...) and each point
+    evaluation runs under a [dse/point] span carrying the option-point
+    attributes. *)
 
 open Hls_lang
 
 type t
 
-val create : ?memoize:bool -> string -> t
-(** Engine over BSL source text. [memoize:false] disables every cache
-    layer (each point pays the full flow) — the serial baseline used
-    by the DSE benchmark. Default [true]. *)
+type config = {
+  jobs : int;  (** worker domains for {!run} ([<= 1] stays on the calling domain) *)
+  verify : bool;  (** run the full design lint on every evaluated point *)
+  memoize : bool;  (** [false] disables every cache layer (the serial baseline) *)
+}
 
-val create_program : ?memoize:bool -> Ast.program -> t
+val default_config : config
+(** [{ jobs = 1; verify = false; memoize = true }]. *)
+
+val create : ?config:config -> string -> t
+(** Engine over BSL source text (default config {!default_config}). *)
+
+val create_program : ?config:config -> Ast.program -> t
 (** Engine over an already-parsed program. *)
 
-val eval : ?verify:bool -> t -> Flow.options -> Flow.design
-(** Evaluate one option point through the cache. The returned design
-    carries exactly the options given (a backend cache hit is rewrapped).
-    With [~verify:true] (default [false]) the returned design — rewrapped
-    or fresh, cache hits and misses alike — is run through {!Flow.lint}
-    and {!Flow.Lint_failed} is raised on any error-severity diagnostic.
-    Raises as {!Flow.synthesize} does. *)
+val config : t -> config
 
-val run : ?jobs:int -> ?verify:bool -> t -> Flow.options list -> Flow.design list
-(** Evaluate the points on [jobs] worker domains ([<= 1] stays on the
-    calling domain); results in input order. [jobs] is clamped to
+val eval_result :
+  t -> Flow.options -> (Flow.design, Hls_analysis.Diagnostic.t list) result
+(** Evaluate one option point through the cache. The returned design
+    carries exactly the options given (a backend cache hit is
+    rewrapped). [Error] carries the structural netlist diagnostics, or
+    — when [config.verify] — any error-severity diagnostics from
+    {!Flow.lint}, run on the rewrapped design for cache hits and misses
+    alike. Raises as {!Flow.synthesize_result} does on malformed
+    input. *)
+
+val run_result :
+  t ->
+  Flow.options list ->
+  (Flow.design, Hls_analysis.Diagnostic.t list) result list
+(** Evaluate the points on [config.jobs] worker domains; results in
+    input order. [jobs] is clamped to
     [Domain.recommended_domain_count ()] — domains beyond the
     hardware's parallelism only contend on the runtime's stop-the-world
-    collector. Use {!Hls_util.Pool.map} directly to force a worker
-    count. *)
+    collector. *)
+
+val eval : t -> Flow.options -> Flow.design
+(** Legacy raising wrapper: {!eval_result} with [Error ds] rethrown as
+    {!Flow.Lint_failed}. *)
+
+val run : t -> Flow.options list -> Flow.design list
+(** Legacy raising wrapper over {!run_result}; the first [Error] in
+    input order raises {!Flow.Lint_failed}. *)
 
 type layer = { hits : int; misses : int }
 type stats = { frontend : layer; midend : layer; schedule : layer; backend : layer }
 
 val stats : t -> stats
 (** Cache hit/miss counters per layer since creation (or {!clear}).
-    Under concurrent runs, racing misses on one key are each counted. *)
+    Single-flight memoization makes the totals deterministic: one miss
+    per unique key probed, hits for every other probe, for any job
+    count. *)
 
 val clear : t -> unit
-(** Drop all cached stage results and zero the counters. *)
+(** Drop all cached stage results and zero the counters. Must not be
+    called while a {!run} is in flight. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -31,27 +31,35 @@ let point_of label options design =
     latency_ns = design.Flow.estimate.Hls_rtl.Estimate.latency_ns;
   }
 
-(* evaluate labelled option points through a (possibly shared) engine *)
-let run_points ~jobs ~engine src labelled =
-  let engine = match engine with Some e -> e | None -> Dse.create src in
-  let designs = Dse.run ~jobs engine (List.map snd labelled) in
-  List.map2 (fun (label, options) d -> point_of label options d) labelled designs
+(* Evaluate labelled option points through a (possibly shared) engine,
+   on the Result API. Sweeps surface a failed point as the legacy
+   Flow.Lint_failed — a sweep's result type is the point list, and an
+   engine configured without [verify] never fails. *)
+let run_points ~config ~engine src labelled =
+  let engine = match engine with Some e -> e | None -> Dse.create ~config src in
+  let results = Dse.run_result engine (List.map snd labelled) in
+  List.map2
+    (fun (label, options) r ->
+      match r with
+      | Ok d -> point_of label options d
+      | Error ds -> raise (Flow.Lint_failed ds))
+    labelled results
 
-let sweep_limits ?(jobs = 1) ?engine ?(base = Flow.default_options)
+let sweep_limits ?(config = Dse.default_config) ?engine ?(base = Flow.default_options)
     ?(limits = default_limits) src =
-  run_points ~jobs ~engine src
+  run_points ~config ~engine src
     (List.map (fun l -> (Limits.to_string l, { base with Flow.limits = l })) limits)
 
-let sweep_schedulers ?(jobs = 1) ?engine ?(base = Flow.default_options)
-    ?(schedulers = default_schedulers) src =
-  run_points ~jobs ~engine src
+let sweep_schedulers ?(config = Dse.default_config) ?engine
+    ?(base = Flow.default_options) ?(schedulers = default_schedulers) src =
+  run_points ~config ~engine src
     (List.map
        (fun s -> (Flow.scheduler_to_string s, { base with Flow.scheduler = s }))
        schedulers)
 
-let sweep ?(jobs = 1) ?engine ?(base = Flow.default_options)
+let sweep ?(config = Dse.default_config) ?engine ?(base = Flow.default_options)
     ?(schedulers = default_schedulers) ?(limits = default_limits) src =
-  run_points ~jobs ~engine src
+  run_points ~config ~engine src
     (List.concat_map
        (fun s ->
          List.map

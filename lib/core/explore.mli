@@ -4,11 +4,15 @@
 
     Sweeps resource limits, schedulers, or their cross product over one
     specification, estimates each design, and reports the area/latency
-    Pareto frontier. Sweeps are evaluated through a {!Dse} engine —
-    memoized and optionally on [jobs] worker domains — and return
-    points in sweep order regardless of [jobs]. Pass [engine] to share
-    one cache across several sweeps of the same source (the engine's
-    own source is used; it must wrap the same specification). *)
+    Pareto frontier. Sweeps are evaluated through a {!Dse} engine on
+    the Result API — memoized and optionally on worker domains per
+    [config.jobs] — and return points in sweep order regardless of job
+    count. Pass [engine] to share one cache across several sweeps of
+    the same source (the engine's own source {e and config} are used —
+    [config] only shapes the engine a sweep creates itself; it must
+    wrap the same specification). A point that fails verification
+    (possible only under an engine configured with [verify]) raises
+    {!Flow.Lint_failed}. *)
 
 type point = {
   label : string;
@@ -24,7 +28,7 @@ val default_limits : Hls_sched.Limits.t list
 val default_schedulers : Flow.scheduler list
 
 val sweep_limits :
-  ?jobs:int ->
+  ?config:Dse.config ->
   ?engine:Dse.t ->
   ?base:Flow.options ->
   ?limits:Hls_sched.Limits.t list ->
@@ -33,7 +37,7 @@ val sweep_limits :
 (** Synthesize the BSL source under each resource limit. *)
 
 val sweep_schedulers :
-  ?jobs:int ->
+  ?config:Dse.config ->
   ?engine:Dse.t ->
   ?base:Flow.options ->
   ?schedulers:Flow.scheduler list ->
@@ -41,7 +45,7 @@ val sweep_schedulers :
   point list
 
 val sweep :
-  ?jobs:int ->
+  ?config:Dse.config ->
   ?engine:Dse.t ->
   ?base:Flow.options ->
   ?schedulers:Flow.scheduler list ->

@@ -33,6 +33,16 @@ let scheduler_to_string = function
   | Trans_parallel -> "transformational/parallel"
   | Trans_serial -> "transformational/serial"
 
+let opt_level_to_string = function
+  | `None -> "none"
+  | `Standard -> "standard"
+  | `Aggressive -> "aggressive"
+
+let allocator_to_string = function
+  | `Clique -> "clique"
+  | `Greedy_min_mux -> "min-mux"
+  | `Greedy_first_fit -> "first-fit"
+
 type options = {
   opt_level : [ `None | `Standard | `Aggressive ];
   if_conversion : bool;
@@ -107,15 +117,26 @@ let block_scheduler options dfg =
 
 (* ---- staged pipeline ------------------------------------------------ *)
 
-type compiled = { c_ast : Ast.program; c_prog : Typed.tprogram }
+(* Every stage runs under a trace span carrying the option-point
+   attributes the stage's result depends on; the span durations are
+   what Timing.snapshot reports. *)
+
+type compiled = { c_prog : Typed.tprogram }
 type optimized = { o_prog : Typed.tprogram; o_cfg : Hls_cdfg.Cfg.t; o_outputs : string list }
 
-let front ast = { c_ast = ast; c_prog = Typecheck.check (Inline.expand ast) }
-let frontend_program ast = Timing.time "frontend" (fun () -> front ast)
-let frontend src = Timing.time "frontend" (fun () -> front (Parser.parse src))
+let front ast = { c_prog = Typecheck.check (Inline.expand ast) }
+let frontend_program ast = Hls_obs.Trace.with_span "frontend" (fun () -> front ast)
+let frontend src = Hls_obs.Trace.with_span "frontend" (fun () -> front (Parser.parse src))
+let compiled_of_typed tprog = { c_prog = tprog }
 
 let midend ~opt_level ~if_conversion c =
-  Timing.time "midend" (fun () ->
+  Hls_obs.Trace.with_span "midend"
+    ~args:
+      [
+        ("opt_level", opt_level_to_string opt_level);
+        ("if_conversion", string_of_bool if_conversion);
+      ]
+    (fun () ->
       let prog = c.c_prog in
       let cfg0 = Hls_cdfg.Compile.compile prog in
       let outputs = output_names prog in
@@ -139,7 +160,13 @@ let scheduler_ignores_limits = function
   | _ -> false
 
 let schedule options o =
-  Timing.time "schedule" (fun () ->
+  Hls_obs.Trace.with_span "schedule"
+    ~args:
+      [
+        ("scheduler", scheduler_to_string options.scheduler);
+        ("limits", Limits.to_string options.limits);
+      ]
+    (fun () ->
       let sched = Cfg_sched.make o.o_cfg ~scheduler:(block_scheduler options) in
       (* for limit-ignoring schedulers verify only the dependence half of
          the contract, the full contract otherwise *)
@@ -260,10 +287,16 @@ let lint_check d =
   | [] -> ()
   | es -> raise (Lint_failed es)
 
-let complete ?(verify = false) options o ~sched =
+(* The Result-returning pipeline is primary; the historical raising
+   API below is a thin Lint_failed wrapper over it for legacy
+   callers. *)
+
+let complete_result ?(verify = false) options o ~sched =
   let prog = o.o_prog in
   let fu, regs, transfers =
-    Timing.time "allocate" (fun () ->
+    Hls_obs.Trace.with_span "allocate"
+      ~args:[ ("allocator", allocator_to_string options.allocator) ]
+      (fun () ->
         let fu =
           match options.allocator with
           | `Clique -> Hls_alloc.Fu_alloc.by_clique sched
@@ -278,39 +311,68 @@ let complete ?(verify = false) options o ~sched =
         let transfers = Hls_alloc.Interconnect.transfers sched ~fu ~regs in
         (fu, regs, transfers))
   in
-  let datapath =
-    Timing.time "bind" (fun () ->
+  let datapath_r =
+    Hls_obs.Trace.with_span "bind" (fun () ->
         let datapath = Hls_rtl.Datapath.build sched ~fu ~regs ~ports:(ports_of prog) in
-        (match Hls_rtl.Check.run datapath with
-        | Ok () -> ()
-        | Error ds -> raise (Lint_failed ds));
-        datapath)
+        match Hls_rtl.Check.run datapath with
+        | Ok () -> Ok datapath
+        | Error ds -> Error ds)
   in
-  let controller =
-    Timing.time "control" (fun () ->
-        Hls_ctrl.Ctrl_synth.synthesize ~style:options.encoding datapath.Hls_rtl.Datapath.fsm)
-  in
-  let estimate =
-    Timing.time "estimate" (fun () ->
-        Hls_rtl.Estimate.estimate ~style:options.encoding ~ctrl:controller datapath sched)
-  in
-  let d =
-    { options; prog; cfg = o.o_cfg; sched; fu; regs; transfers; datapath; controller; estimate }
-  in
-  if verify then Timing.time "lint" (fun () -> lint_check d);
-  d
+  match datapath_r with
+  | Error ds -> Error ds
+  | Ok datapath ->
+      let controller =
+        Hls_obs.Trace.with_span "control"
+          ~args:[ ("encoding", Hls_ctrl.Encoding.style_to_string options.encoding) ]
+          (fun () ->
+            Hls_ctrl.Ctrl_synth.synthesize ~style:options.encoding
+              datapath.Hls_rtl.Datapath.fsm)
+      in
+      let estimate =
+        Hls_obs.Trace.with_span "estimate" (fun () ->
+            Hls_rtl.Estimate.estimate ~style:options.encoding ~ctrl:controller datapath
+              sched)
+      in
+      let d =
+        { options; prog; cfg = o.o_cfg; sched; fu; regs; transfers; datapath;
+          controller; estimate }
+      in
+      Hls_obs.Trace.incr "flow/designs";
+      if verify then
+        Hls_obs.Trace.with_span "lint" (fun () ->
+            match Hls_analysis.Diagnostic.errors (lint d) with
+            | [] -> Ok d
+            | es -> Error es)
+      else Ok d
 
-let backend ?verify options o = complete ?verify options o ~sched:(schedule options o)
+let backend_result ?verify options o =
+  complete_result ?verify options o ~sched:(schedule options o)
 
-let synthesize_program ?(options = default_options) ?verify ast =
-  backend ?verify options
+let run ?verify options tprog =
+  backend_result ?verify options
+    (midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion
+       (compiled_of_typed tprog))
+
+let synthesize_program_result ?(options = default_options) ?verify ast =
+  backend_result ?verify options
     (midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion
        (frontend_program ast))
 
-let synthesize ?(options = default_options) ?verify src =
-  backend ?verify options
+let synthesize_result ?(options = default_options) ?verify src =
+  backend_result ?verify options
     (midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion
        (frontend src))
+
+(* ---- legacy raising wrappers ---------------------------------------- *)
+
+let unwrap = function Ok d -> d | Error ds -> raise (Lint_failed ds)
+let complete ?verify options o ~sched = unwrap (complete_result ?verify options o ~sched)
+let backend ?verify options o = unwrap (backend_result ?verify options o)
+
+let synthesize_program ?options ?verify ast =
+  unwrap (synthesize_program_result ?options ?verify ast)
+
+let synthesize ?options ?verify src = unwrap (synthesize_result ?options ?verify src)
 
 let cosim_design d =
   {

@@ -7,9 +7,13 @@ open Hls_lang
 open Hls_sched
 
 exception Lint_failed of Hls_analysis.Diagnostic.t list
-(** Raised (by {!complete} and friends when [~verify:true], and by the
-    always-on datapath check) with the full structured error list when a
-    produced design fails verification. A printer is registered, so an
+(** Raised by the {e legacy} raising wrappers ({!complete}, {!backend},
+    {!synthesize} and friends) with the full structured error list when
+    a produced design fails verification — either the always-on
+    datapath check or, with [~verify:true], the full design {!lint}.
+    New code should use the Result-returning API ({!run},
+    {!complete_result}, {!backend_result}, {!synthesize_result}), for
+    which this exception never fires. A printer is registered, so an
     uncaught [Lint_failed] renders every diagnostic. *)
 
 type scheduler =
@@ -24,6 +28,8 @@ type scheduler =
   | Trans_serial
 
 val scheduler_to_string : scheduler -> string
+val opt_level_to_string : [ `None | `Standard | `Aggressive ] -> string
+val allocator_to_string : [ `Clique | `Greedy_min_mux | `Greedy_first_fit ] -> string
 
 type options = {
   opt_level : [ `None | `Standard | `Aggressive ];
@@ -59,11 +65,14 @@ type design = {
     source, the midend result only on [(source, opt_level,
     if_conversion)], and the schedule only additionally on [(scheduler,
     limits)] — everything downstream of a stage is a pure function of
-    that stage's output plus the remaining option fields. Each stage is
-    wrapped in a {!Timing} accumulator ([frontend], [midend],
-    [schedule], [allocate], [bind], [control], [estimate]). *)
+    that stage's output plus the remaining option fields. Each stage
+    runs under an {!Hls_obs.Trace} span named [frontend], [midend],
+    [schedule], [allocate], [bind], [control] or [estimate], carrying
+    the option fields its result depends on as span attributes — the
+    {!Timing} breakdown and the Chrome trace export both read from
+    those spans. *)
 
-type compiled = { c_ast : Ast.program; c_prog : Typed.tprogram }
+type compiled = { c_prog : Typed.tprogram }
 type optimized = { o_prog : Typed.tprogram; o_cfg : Hls_cdfg.Cfg.t; o_outputs : string list }
 
 val frontend : string -> compiled
@@ -72,6 +81,9 @@ val frontend : string -> compiled
 
 val frontend_program : Ast.program -> compiled
 (** As {!frontend}, starting from an already-parsed program. *)
+
+val compiled_of_typed : Typed.tprogram -> compiled
+(** Wrap an already-typechecked program, skipping the frontend. *)
 
 val midend :
   opt_level:[ `None | `Standard | `Aggressive ] ->
@@ -90,14 +102,62 @@ val schedule : options -> optimized -> Cfg_sched.t
     limits too unless {!scheduler_ignores_limits}). Raises
     [Invalid_argument] if the scheduler breaks its contract. *)
 
-val complete : ?verify:bool -> options -> optimized -> sched:Cfg_sched.t -> design
-(** Allocation, binding, control synthesis and estimation on top of an
-    existing schedule. Raises {!Lint_failed} if the produced datapath
-    fails the structural netlist checks, and — when [~verify:true]
-    (default [false]) — if the full design {!lint} reports any error. *)
+(** {2 Result API}
 
+    The primary way to drive the flow: verification failures are
+    ordinary values carrying the structured diagnostic list, never
+    exceptions. [Error] is produced when the datapath fails the
+    always-on structural netlist checks, or — with [~verify:true]
+    (default [false]) — when the full design {!lint} reports any
+    error-severity diagnostic. Internal contract violations (a
+    scheduler breaking its own invariants) still raise
+    [Invalid_argument]: those are bugs, not designs that failed
+    verification. *)
+
+val complete_result :
+  ?verify:bool ->
+  options ->
+  optimized ->
+  sched:Cfg_sched.t ->
+  (design, Hls_analysis.Diagnostic.t list) result
+(** Allocation, binding, control synthesis and estimation on top of an
+    existing schedule. *)
+
+val backend_result :
+  ?verify:bool -> options -> optimized -> (design, Hls_analysis.Diagnostic.t list) result
+(** [schedule] then {!complete_result}. *)
+
+val run :
+  ?verify:bool ->
+  options ->
+  Typed.tprogram ->
+  (design, Hls_analysis.Diagnostic.t list) result
+(** The full flow from an already-typechecked program: [midend] →
+    {!backend_result}, skipping parse/typecheck. *)
+
+val synthesize_result :
+  ?options:options ->
+  ?verify:bool ->
+  string ->
+  (design, Hls_analysis.Diagnostic.t list) result
+(** Parse BSL source text and run the full flow. Raises
+    {!Ast.Frontend_error} on bad input (malformed input is not a
+    design that failed verification). *)
+
+val synthesize_program_result :
+  ?options:options ->
+  ?verify:bool ->
+  Ast.program ->
+  (design, Hls_analysis.Diagnostic.t list) result
+
+(** {2 Legacy raising wrappers}
+
+    Each is its [_result] sibling with [Error ds] rethrown as
+    [Lint_failed ds]; kept for callers written against the original
+    exception-based API. *)
+
+val complete : ?verify:bool -> options -> optimized -> sched:Cfg_sched.t -> design
 val backend : ?verify:bool -> options -> optimized -> design
-(** [schedule] then [complete]. *)
 
 val scheduler_ignores_limits : scheduler -> bool
 (** Time-constrained schedulers ([Force_directed], [Freedom]) derive
@@ -107,12 +167,11 @@ val scheduler_ignores_limits : scheduler -> bool
 val synthesize_program : ?options:options -> ?verify:bool -> Ast.program -> design
 (** The full flow: [frontend_program] → [midend] → [backend]. Raises
     {!Ast.Frontend_error} on bad input, [Invalid_argument] if an
-    internal consistency check fails, and {!Lint_failed} if the produced
-    datapath fails the structural netlist checks (or, with
-    [~verify:true], if the design lint reports any error). *)
+    internal consistency check fails, and {!Lint_failed} as
+    {!synthesize_program_result} would return [Error]. *)
 
 val synthesize : ?options:options -> ?verify:bool -> string -> design
-(** Parse BSL source text and synthesize. *)
+(** Parse BSL source text and synthesize, raising on failure. *)
 
 (** {2 Design lint}
 

@@ -1,43 +1,19 @@
-(* Wall-clock accumulators per named flow stage. A single global table
-   guarded by a mutex: worker domains running backend stages in parallel
-   all report into the same breakdown. *)
+(* Thin view over Hls_obs.Trace's always-on duration accumulators.
+   The historical Timing API is kept so Explore.table and the DSE
+   benchmark read the per-stage breakdown unchanged; the data now
+   lives in the trace sink, where spans also carry attributes and feed
+   the Chrome trace export (see Metrics). *)
 
 type entry = { stage : string; seconds : float; calls : int }
 
-let lock = Mutex.create ()
-let table : (string, float * int) Hashtbl.t = Hashtbl.create 16
-let order : string list ref = ref []
-
-let reset () =
-  Mutex.lock lock;
-  Hashtbl.reset table;
-  order := [];
-  Mutex.unlock lock
-
-let record stage seconds =
-  Mutex.lock lock;
-  (match Hashtbl.find_opt table stage with
-  | Some (s, c) -> Hashtbl.replace table stage (s +. seconds, c + 1)
-  | None ->
-      Hashtbl.add table stage (seconds, 1);
-      order := stage :: !order);
-  Mutex.unlock lock
-
-let time stage f =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> record stage (Unix.gettimeofday () -. t0)) f
+let reset () = Hls_obs.Trace.reset_durations ()
+let record = Hls_obs.Trace.record_duration
+let time stage f = Hls_obs.Trace.with_span stage f
 
 let snapshot () =
-  Mutex.lock lock;
-  let entries =
-    List.rev_map
-      (fun stage ->
-        let seconds, calls = Hashtbl.find table stage in
-        { stage; seconds; calls })
-      !order
-  in
-  Mutex.unlock lock;
-  entries
+  List.map
+    (fun (stage, seconds, calls) -> { stage; seconds; calls })
+    (Hls_obs.Trace.durations_snapshot ())
 
 let pp ppf entries =
   List.iter

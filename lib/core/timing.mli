@@ -1,17 +1,20 @@
-(** Per-stage wall-clock accumulators for the synthesis flow.
+(** Per-stage wall-clock accumulators for the synthesis flow — a thin
+    view over {!Hls_obs.Trace}'s always-on duration accumulators.
 
     {!Flow} wraps each pipeline stage ([frontend], [midend], [schedule],
-    [allocate], [bind], [control], [estimate]) in {!time}, so after a run
-    — serial or across worker domains — {!snapshot} yields the time
-    breakdown that {!Explore.table} and the DSE benchmark report. The
-    accumulators are global and mutex-guarded; {!reset} starts a fresh
-    measurement window. *)
+    [allocate], [bind], [control], [estimate]) in a trace span, so after
+    a run — serial or across worker domains — {!snapshot} yields the
+    time breakdown that {!Explore.table} and the DSE benchmark report.
+    {!reset} starts a fresh measurement window without touching the
+    trace's counters or span ring ({!Hls_obs.Trace.reset} clears
+    those). *)
 
 type entry = { stage : string; seconds : float; calls : int }
 
 val time : string -> (unit -> 'a) -> 'a
 (** Run the thunk, adding its wall-clock duration to the stage's
-    accumulator (also on exception). *)
+    accumulator (also on exception). Equivalent to
+    {!Hls_obs.Trace.with_span} with no attributes. *)
 
 val record : string -> float -> unit
 (** Add raw seconds to a stage (for externally-timed sections). *)

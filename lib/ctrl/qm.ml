@@ -50,6 +50,7 @@ let minimize ~n_inputs ~on_set ?(dc_set = []) () =
       let primes = ref CubeSet.empty in
       let rec loop level =
         if not (CubeSet.is_empty level) then begin
+          Hls_obs.Trace.incr "ctrl/qm_iterations";
           let level_primes, combined = combine_level level in
           primes := CubeSet.union !primes level_primes;
           loop combined

@@ -1,0 +1,190 @@
+(* Structured tracing and metrics for the synthesis pipeline.
+
+   Three kinds of state, all global and guarded by one mutex so worker
+   domains report into a single view:
+
+   - duration accumulators: per-stage wall-clock totals, always on —
+     Hls_core.Timing is a thin view over these;
+   - counters: named monotonic integers (cache hits, ops scheduled,
+     clique merges, ...), always on — a counter bump is a mutex
+     acquire and a hashtable update, cheap against the work it counts;
+   - the span ring: completed spans with attributes, parent links and
+     the owning domain, captured only while [enabled] — this is what
+     the Chrome trace_event export renders.
+
+   The ring has fixed capacity and overwrites oldest-first; overwrites
+   are counted so an export can say how much history it lost. Span
+   nesting is tracked per domain (domain-local stacks), so spans from
+   concurrent Pool workers never corrupt each other's parent links. *)
+
+type span = {
+  sp_name : string;
+  sp_args : (string * string) list;
+  sp_parent : string option;  (** innermost enclosing span on the same domain *)
+  sp_domain : int;
+  sp_start : float;  (** seconds since the trace epoch *)
+  sp_dur : float;
+}
+
+let lock = Mutex.create ()
+
+(* ---- always-on stage duration accumulators (the Timing view) ---- *)
+
+let durations : (string, float * int) Hashtbl.t = Hashtbl.create 16
+let duration_order : string list ref = ref []
+
+let record_duration_locked stage seconds =
+  match Hashtbl.find_opt durations stage with
+  | Some (s, c) -> Hashtbl.replace durations stage (s +. seconds, c + 1)
+  | None ->
+      Hashtbl.add durations stage (seconds, 1);
+      duration_order := stage :: !duration_order
+
+let record_duration stage seconds =
+  Mutex.lock lock;
+  record_duration_locked stage seconds;
+  Mutex.unlock lock
+
+let reset_durations () =
+  Mutex.lock lock;
+  Hashtbl.reset durations;
+  duration_order := [];
+  Mutex.unlock lock
+
+let durations_snapshot () =
+  Mutex.lock lock;
+  let entries =
+    List.rev_map
+      (fun stage ->
+        let seconds, calls = Hashtbl.find durations stage in
+        (stage, seconds, calls))
+      !duration_order
+  in
+  Mutex.unlock lock;
+  entries
+
+(* ---- counters ---- *)
+
+let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let add name v =
+  Mutex.lock lock;
+  (match Hashtbl.find_opt counters_tbl name with
+  | Some c -> Hashtbl.replace counters_tbl name (c + v)
+  | None -> Hashtbl.add counters_tbl name v);
+  Mutex.unlock lock
+
+let incr name = add name 1
+
+let record_max name v =
+  Mutex.lock lock;
+  (match Hashtbl.find_opt counters_tbl name with
+  | Some c -> if v > c then Hashtbl.replace counters_tbl name v
+  | None -> Hashtbl.add counters_tbl name v);
+  Mutex.unlock lock
+
+let counter name =
+  Mutex.lock lock;
+  let v = Option.value (Hashtbl.find_opt counters_tbl name) ~default:0 in
+  Mutex.unlock lock;
+  v
+
+let counters () =
+  Mutex.lock lock;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters_tbl [] in
+  Mutex.unlock lock;
+  List.sort compare l
+
+(* ---- span ring ---- *)
+
+let enabled_flag = ref false
+let default_capacity = 8192
+let ring : span option array ref = ref (Array.make default_capacity None)
+let ring_next = ref 0 (* total spans ever pushed; write slot is [!ring_next mod cap] *)
+let epoch = ref (Unix.gettimeofday ())
+
+let enable ?(capacity = default_capacity) () =
+  Mutex.lock lock;
+  if capacity < 1 then begin
+    Mutex.unlock lock;
+    invalid_arg "Trace.enable: capacity must be positive"
+  end;
+  if Array.length !ring <> capacity then ring := Array.make capacity None;
+  enabled_flag := true;
+  Mutex.unlock lock
+
+let disable () =
+  Mutex.lock lock;
+  enabled_flag := false;
+  Mutex.unlock lock
+
+let enabled () = !enabled_flag
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset durations;
+  duration_order := [];
+  Hashtbl.reset counters_tbl;
+  Array.fill !ring 0 (Array.length !ring) None;
+  ring_next := 0;
+  epoch := Unix.gettimeofday ();
+  Mutex.unlock lock
+
+let trace_epoch () = !epoch
+
+let dropped () =
+  Mutex.lock lock;
+  let d = max 0 (!ring_next - Array.length !ring) in
+  Mutex.unlock lock;
+  d
+
+let spans () =
+  Mutex.lock lock;
+  let cap = Array.length !ring in
+  let n = min !ring_next cap in
+  let first = if !ring_next <= cap then 0 else !ring_next mod cap in
+  let out =
+    List.init n (fun i ->
+        match !ring.((first + i) mod cap) with
+        | Some s -> s
+        | None -> assert false)
+  in
+  Mutex.unlock lock;
+  out
+
+(* ---- span capture ---- *)
+
+(* the stack of open span names on the current domain, innermost first *)
+let span_stack : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let current_parent () =
+  match Domain.DLS.get span_stack with [] -> None | p :: _ -> Some p
+
+let with_span ?(args = []) name f =
+  let outer = Domain.DLS.get span_stack in
+  let parent = match outer with [] -> None | p :: _ -> Some p in
+  Domain.DLS.set span_stack (name :: outer);
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let t1 = Unix.gettimeofday () in
+      Domain.DLS.set span_stack outer;
+      Mutex.lock lock;
+      record_duration_locked name (t1 -. t0);
+      if !enabled_flag then begin
+        let s =
+          {
+            sp_name = name;
+            sp_args = args;
+            sp_parent = parent;
+            sp_domain = (Domain.self () :> int);
+            sp_start = t0 -. !epoch;
+            sp_dur = t1 -. t0;
+          }
+        in
+        let cap = Array.length !ring in
+        !ring.(!ring_next mod cap) <- Some s;
+        Stdlib.incr ring_next
+      end;
+      Mutex.unlock lock)
+    f

@@ -6,6 +6,14 @@ let make cfg ~scheduler =
   let scheds =
     Array.init (Cfg.n_blocks cfg) (fun bid -> scheduler (Cfg.dfg cfg bid))
   in
+  let ops =
+    List.fold_left
+      (fun acc bid -> acc + List.length (Dfg.compute_ops (Cfg.dfg cfg bid)))
+      0 (Cfg.block_ids cfg)
+  in
+  Hls_obs.Trace.add "sched/ops_scheduled" ops;
+  Hls_obs.Trace.add "sched/steps"
+    (Array.fold_left (fun acc s -> acc + Schedule.n_steps s) 0 scheds);
   { cfg; scheds }
 
 let cfg t = t.cfg

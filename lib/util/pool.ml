@@ -20,6 +20,7 @@ let rec worker_loop pool =
   else begin
     let task = Queue.pop pool.queue in
     Mutex.unlock pool.lock;
+    Hls_obs.Trace.incr "pool/steals";
     task ();
     worker_loop pool
   end
@@ -44,8 +45,11 @@ let submit pool task =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   Queue.push task pool.queue;
+  let depth = Queue.length pool.queue in
   Condition.signal pool.work_ready;
-  Mutex.unlock pool.lock
+  Mutex.unlock pool.lock;
+  Hls_obs.Trace.incr "pool/submitted";
+  Hls_obs.Trace.record_max "pool/queue_peak" depth
 
 let shutdown pool =
   Mutex.lock pool.lock;

@@ -4,7 +4,15 @@
 
     The scheduling order of tasks across workers is nondeterministic,
     but {!map} always collects results in input order, so a parallel
-    sweep returns exactly the list a serial one would. *)
+    sweep returns exactly the list a serial one would.
+
+    The pool reports execution-topology counters into
+    {!Hls_obs.Trace}: [pool/submitted] (tasks enqueued),
+    [pool/steals] (tasks dequeued by a worker domain) and
+    [pool/queue_peak] (deepest the queue ever got). These describe how
+    the work was run, not what was computed, so — unlike every other
+    counter namespace — they legitimately differ between job counts
+    ({!map} with [jobs <= 1] never touches a queue at all). *)
 
 type t
 

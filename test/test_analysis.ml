@@ -355,10 +355,12 @@ let test_verify_flag () =
   (* ~verify:true must pass on a clean design, through Flow and Dse,
      cache hits included *)
   ignore (Flow.synthesize ~verify:true Workloads.gcd);
-  let eng = Dse.create Workloads.gcd in
+  let eng =
+    Dse.create ~config:{ Dse.default_config with Dse.verify = true } Workloads.gcd
+  in
   let o = Flow.default_options in
-  ignore (Dse.eval ~verify:true eng o);
-  ignore (Dse.eval ~verify:true eng o)
+  ignore (Dse.eval eng o);
+  ignore (Dse.eval eng o)
 
 (* ---- the clean matrix ---- *)
 

@@ -92,7 +92,8 @@ let signature (d : Flow.design) =
     Hls_sched.Cfg_sched.digest d.Flow.sched )
 
 let sweep ~memoize ~jobs src =
-  Explore.sweep ~jobs ~engine:(Dse.create ~memoize src) src
+  let config = { Dse.default_config with Dse.jobs; memoize } in
+  Explore.sweep ~engine:(Dse.create ~config src) src
 
 let test_sweep_deterministic () =
   let src = Workloads.diffeq in
