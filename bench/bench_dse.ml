@@ -60,6 +60,7 @@ let run_bench ~iters ~jobs ~out =
   let cache = ref None in
   let identical = ref true in
   let points = ref 0 in
+  let workers_used = ref 0 in
   for _ = 1 to iters do
     Timing.reset ();
     let ps, t_serial = timed (sweep ~memoize:false ~jobs:1) in
@@ -72,6 +73,12 @@ let run_bench ~iters ~jobs ~out =
     let pn, t_memon = timed (fun () -> Explore.sweep ~engine src) in
     stages_memo := Timing.snapshot ();
     cache := Some (Dse.stats engine);
+    (* true parallelism: workers that dequeued at least one task during
+       the memo/N sweep (the trace was reset just before it), not the
+       requested count *)
+    workers_used :=
+      max !workers_used
+        (if jobs <= 1 then 1 else Hls_obs.Trace.counter "pool/workers_active");
     points := List.length ps;
     let sg l = List.map (fun p -> signature p.Explore.design) l in
     if not (sg ps = sg p1 && sg p1 = sg pn) then identical := false;
@@ -85,6 +92,16 @@ let run_bench ~iters ~jobs ~out =
      one; the median of per-iteration ratios compares runs that shared
      the same ambient conditions *)
   let paired_speedup memo = median (List.map2 ( /. ) !serial_ms memo) in
+  (* a jobs>1 run where the parallel sweep is no faster than the
+     single-domain memoized sweep deserves a loud flag, not a silently
+     recorded number: either the workers never engaged (see
+     workers_used) or contention ate the win *)
+  let parallel_speedup = median (List.map2 ( /. ) !memo1_ms !memon_ms) in
+  let no_parallel_speedup = jobs > 1 && parallel_speedup <= 1.0 in
+  if no_parallel_speedup then
+    Printf.eprintf
+      "warning: jobs=%d produced no parallel speedup over memo/1 (%.2fx, %d worker(s) active)\n"
+      jobs parallel_speedup !workers_used;
   let cache_stats = Option.get !cache in
   let json =
     Obj
@@ -94,7 +111,8 @@ let run_bench ~iters ~jobs ~out =
         ("points", Num (float_of_int !points));
         ("iters", Num (float_of_int iters));
         ("jobs_requested", Num (float_of_int jobs));
-        ("workers_used", Num (float_of_int (min jobs !points)));
+        ("workers_used", Num (float_of_int !workers_used));
+        ("no_parallel_speedup", Bool no_parallel_speedup);
         ("identical_designs", Bool !identical);
         ("serial_ms", runs !serial_ms);
         ("memo_jobs1_ms", runs !memo1_ms);
@@ -152,7 +170,11 @@ let validate file =
       in
       List.iter
         (fun key -> ignore (num key))
-        [ "points"; "iters"; "jobs_requested"; "speedup_memo_jobs1"; "speedup_memo_jobsN" ];
+        [ "points"; "iters"; "jobs_requested"; "workers_used"; "speedup_memo_jobs1";
+          "speedup_memo_jobsN" ];
+      (match member "no_parallel_speedup" json with
+      | Some (Bool _) -> ()
+      | _ -> fail "missing no_parallel_speedup");
       (match member "identical_designs" json with
       | Some (Bool true) -> ()
       | Some (Bool false) -> fail "identical_designs is false"

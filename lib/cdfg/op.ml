@@ -168,3 +168,63 @@ let eval ty op args =
       match args with
       | [ c; a; b ] -> Fixedpt.wrap fmt (if bool_of c then a else b)
       | _ -> invalid_arg "Op.eval: arity")
+
+(* Compiled evaluation: the format resolution and operator dispatch above
+   happen once, returning a closure over an argument buffer. Each closure
+   computes exactly what [eval] computes (same [Fixedpt] calls, same
+   exceptions), so compiled and interpreted simulation agree bit for bit. *)
+let compile_eval ty op =
+  let fmt = fmt_of ty in
+  let a1 (a : int array) =
+    if Array.length a <> 1 then invalid_arg "Op.eval: arity";
+    a.(0)
+  in
+  let chk2 (a : int array) = if Array.length a <> 2 then invalid_arg "Op.eval: arity" in
+  match op with
+  | Const v -> fun _ -> Fixedpt.wrap fmt v
+  | Read _ -> fun _ -> invalid_arg "Op.eval: Read has no dataflow evaluation"
+  | Write _ -> fun a -> Fixedpt.wrap fmt (a1 a)
+  | Add -> fun a -> chk2 a; Fixedpt.add fmt a.(0) a.(1)
+  | Sub -> fun a -> chk2 a; Fixedpt.sub fmt a.(0) a.(1)
+  | Mul -> fun a -> chk2 a; Fixedpt.mul fmt a.(0) a.(1)
+  | Div -> fun a -> chk2 a; Fixedpt.div fmt a.(0) a.(1)
+  | Mod ->
+      fun a ->
+        chk2 a;
+        if a.(1) = 0 then raise Division_by_zero;
+        Fixedpt.wrap fmt (a.(0) mod a.(1))
+  | Shl -> fun a -> chk2 a; Fixedpt.shift_left fmt a.(0) a.(1)
+  | Shr -> fun a -> chk2 a; Fixedpt.shift_right fmt a.(0) a.(1)
+  | And -> fun a -> chk2 a; Fixedpt.wrap fmt (a.(0) land a.(1))
+  | Or -> fun a -> chk2 a; Fixedpt.wrap fmt (a.(0) lor a.(1))
+  | Xor -> fun a -> chk2 a; Fixedpt.wrap fmt (a.(0) lxor a.(1))
+  | Not -> (
+      match ty with
+      | Hls_lang.Ast.Tbool -> fun a -> if bool_of (a1 a) then 0 else 1
+      | Hls_lang.Ast.Tint _ | Hls_lang.Ast.Tfix _ ->
+          fun a -> Fixedpt.wrap fmt (lnot (a1 a)))
+  | Neg -> fun a -> Fixedpt.neg fmt (a1 a)
+  | Cmp c ->
+      let test : int -> int -> bool =
+        match c with
+        | Ceq -> ( = )
+        | Cne -> ( <> )
+        | Clt -> ( < )
+        | Cle -> ( <= )
+        | Cgt -> ( > )
+        | Cge -> ( >= )
+      in
+      fun a ->
+        chk2 a;
+        if test a.(0) a.(1) then 1 else 0
+  | Incr ->
+      let one = Fixedpt.of_int fmt 1 in
+      fun a -> Fixedpt.add fmt (a1 a) one
+  | Decr ->
+      let one = Fixedpt.of_int fmt 1 in
+      fun a -> Fixedpt.sub fmt (a1 a) one
+  | Zdetect -> fun a -> if a1 a = 0 then 1 else 0
+  | Mux ->
+      fun a ->
+        if Array.length a <> 3 then invalid_arg "Op.eval: arity";
+        Fixedpt.wrap fmt (if bool_of a.(0) then a.(1) else a.(2))

@@ -55,3 +55,10 @@ val eval : Hls_lang.Ast.ty -> t -> int list -> int
     compared as signed patterns; fixed-point multiply/divide rescale.
     Raises [Invalid_argument] on arity mismatch and [Division_by_zero]
     accordingly. *)
+
+val compile_eval : Hls_lang.Ast.ty -> t -> int array -> int
+(** Staged {!eval}: resolves the fixed-point format and the operator
+    dispatch once and returns a closure over an argument buffer. The
+    closure raises exactly what {!eval} would ([Invalid_argument] on
+    arity mismatch, [Division_by_zero]) and computes the same patterns —
+    the compiled RTL simulator's per-cycle inner loop. *)

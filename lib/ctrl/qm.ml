@@ -36,8 +36,15 @@ let combine_level level =
 
 let minimize ~n_inputs ~on_set ?(dc_set = []) () =
   if n_inputs > 20 then invalid_arg "Qm.minimize: too many inputs";
-  if List.exists (fun m -> List.mem m dc_set) on_set then
-    invalid_arg "Qm.minimize: on-set and dc-set overlap";
+  (* hash the dc-set once: O(on + dc) instead of the O(on × dc)
+     List.exists/List.mem scan, which showed up on one-hot controllers
+     where both sets are large *)
+  if dc_set <> [] then begin
+    let dc = Hashtbl.create (2 * List.length dc_set) in
+    List.iter (fun m -> Hashtbl.replace dc m ()) dc_set;
+    if List.exists (fun m -> Hashtbl.mem dc m) on_set then
+      invalid_arg "Qm.minimize: on-set and dc-set overlap"
+  end;
   let full_mask = (1 lsl n_inputs) - 1 in
   match on_set with
   | [] -> []
@@ -71,7 +78,7 @@ let minimize ~n_inputs ~on_set ?(dc_set = []) () =
             !l)
           on_arr
       in
-      let chosen = Hashtbl.create 16 in
+      let chosen = Hashtbl.create (max 16 (2 * Array.length prime_arr)) in
       let covered = Array.make (Array.length on_arr) false in
       let choose pi =
         if not (Hashtbl.mem chosen pi) then begin

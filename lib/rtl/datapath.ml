@@ -261,6 +261,36 @@ let loads_in t state = List.filter (fun l -> l.l_state = state) t.loads
 
 let cond_wire t state = List.assoc_opt state t.conds
 
+(* Per-state view built in one pass — the simulator's replacement for
+   calling the [List.filter] accessors above every cycle. State ids are
+   dense (0 .. n_states-1), so plain arrays index them. *)
+type index = {
+  ix_acts : activity array array;
+  ix_loads : load array array;
+  ix_conds : Wire.t option array;
+}
+
+let index t =
+  let n = Hls_ctrl.Fsm.n_states t.fsm in
+  let acts = Array.make n [] and loads = Array.make n [] in
+  (* build in reverse so each per-state list ends up in [t]'s order *)
+  List.iter (fun a -> acts.(a.a_state) <- a :: acts.(a.a_state)) (List.rev t.activities);
+  List.iter (fun l -> loads.(l.l_state) <- l :: loads.(l.l_state)) (List.rev t.loads);
+  let conds = Array.make n None in
+  (* first binding wins, as in [List.assoc_opt] *)
+  List.iter
+    (fun (s, w) -> if conds.(s) = None then conds.(s) <- Some w)
+    t.conds;
+  {
+    ix_acts = Array.map Array.of_list acts;
+    ix_loads = Array.map Array.of_list loads;
+    ix_conds = conds;
+  }
+
+let acts_at ix state = ix.ix_acts.(state)
+let loads_at ix state = ix.ix_loads.(state)
+let cond_at ix state = ix.ix_conds.(state)
+
 let stats t =
   Printf.sprintf "%d registers, %d functional units, %d activations, %d register loads"
     (List.length t.regs) (List.length t.fus) (List.length t.activities)

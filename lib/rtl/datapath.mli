@@ -53,5 +53,21 @@ val loads_in : t -> int -> load list
 
 val cond_wire : t -> int -> Wire.t option
 
+(** Per-state view of activations, loads and branch conditions, built in
+    one pass over the datapath. {!activities_in}/{!loads_in}/{!cond_wire}
+    scan the whole design per query; a simulator executing millions of
+    cycles builds an index once and reads arrays. *)
+type index
+
+val index : t -> index
+
+val acts_at : index -> int -> activity array
+(** Activations of a state, in {!activities_in} order. *)
+
+val loads_at : index -> int -> load array
+(** Loads of a state, in {!loads_in} order. *)
+
+val cond_at : index -> int -> Wire.t option
+
 val stats : t -> string
 (** One-line summary: registers / units / activations. *)

@@ -8,7 +8,24 @@
     time, choosing the (op, step) pair with the lowest force — the
     placement that best balances the distribution — and frames are
     recomputed after each placement. The functional units required are
-    the per-class maxima of the final distribution. *)
+    the per-class maxima of the final distribution.
+
+    {!schedule_dep} is the incremental kernel: ASAP/ALAP frames are
+    maintained by worklists that re-propagate only through ops whose
+    bounds changed, distribution graphs are rebuilt only for classes an
+    update touched, and candidate forces are cached per op with
+    invalidation scoped to the placement's blast radius. Placements are
+    bit-identical to {!schedule_dep_reference} (the retained seed
+    implementation) because every recomputed float uses the oracle's
+    formulas in the oracle's evaluation order, and cached floats are only
+    reused while all of their inputs are unchanged.
+
+    Work is reported through {!Hls_obs.Trace} counters:
+    [sched/fd_placements], [sched/fd_frame_updates] (ops whose bounds
+    moved), [sched/fd_dg_rebuilds], [sched/fd_rows_built] /
+    [sched/fd_rows_cached] (force-row recomputes vs cache hits),
+    [sched/fd_force_evals] (candidate forces actually recomputed) and,
+    for the oracle, [sched/fd_ref_force_evals]. *)
 
 open Hls_cdfg
 
@@ -22,4 +39,14 @@ val schedule : deadline:int -> Dfg.t -> Schedule.t
 (** Raises [Invalid_argument] if [deadline] is below the critical path
     length. *)
 
-val schedule_dep : deadline:int -> Depgraph.t -> int array
+val schedule_dep :
+  ?on_fix:(int -> int -> unit) -> deadline:int -> Depgraph.t -> int array
+(** Incremental kernel. [on_fix i s] observes each placement in decision
+    order (used by the step-for-step differential tests). *)
+
+val schedule_dep_reference :
+  ?on_fix:(int -> int -> unit) -> deadline:int -> Depgraph.t -> int array
+(** The seed implementation — recomputes frames, distribution graphs and
+    all candidate forces after every placement. Produces exactly the
+    same placement sequence as {!schedule_dep}; kept as the oracle for
+    differential tests and benchmark baselines. *)

@@ -13,11 +13,15 @@ let fmt_of_ty (ty : Ast.ty) =
   | Ast.Tint w -> Fixedpt.format ~int_bits:w ~frac_bits:0
   | Ast.Tfix (i, f) -> Fixedpt.format ~int_bits:i ~frac_bits:f
 
-let check ?(gate_level_control = false) d ~inputs =
+let check ?(gate_level_control = false) ?image d ~inputs =
   let outputs = Beh_sim.output_ports d.d_prog in
   let beh = Beh_sim.run d.d_prog ~inputs in
   let cfg_out = Cfg_sim.run d.d_cfg ~inputs in
-  let rtl = Rtl_sim.run ~gate_level_control d.d_datapath ~inputs in
+  let rtl =
+    match image with
+    | Some img -> Rtl_sim.run_image img ~inputs
+    | None -> Rtl_sim.run ~gate_level_control d.d_datapath ~inputs
+  in
   let lookup who l name =
     match List.assoc_opt name l with
     | Some v -> Ok v
@@ -54,11 +58,17 @@ let check_random ?(runs = 20) ?(seed = 42) ?gate_level_control d =
     let magnitude = max 1 (min (bits - 1) 16) in
     1 + Random.State.int rng ((1 lsl magnitude) - 1)
   in
+  (* one compiled image serves every random vector *)
+  let image =
+    Rtl_sim.compile
+      ~gate_level_control:(Option.value gate_level_control ~default:false)
+      d.d_datapath
+  in
   let rec go i =
     if i >= runs then Ok ()
     else begin
       let inputs = List.map (fun (name, ty) -> (name, random_value ty)) input_ports in
-      match check ?gate_level_control d ~inputs with
+      match check ?gate_level_control ~image d ~inputs with
       | Ok _ -> go (i + 1)
       | Error e ->
           Error

@@ -15,12 +15,16 @@ type design = {
 
 val check :
   ?gate_level_control:bool ->
+  ?image:Rtl_sim.image ->
   design ->
   inputs:(string * int) list ->
   (int, string) result
 (** [Ok cycles] when all three levels agree on every output port (the
     payload is the RTL cycle count); otherwise a diagnostic naming the
-    first mismatching port and the three values. *)
+    first mismatching port and the three values. Pass [image] (a
+    {!Rtl_sim.compile} of the design's datapath) to skip recompiling
+    when checking many vectors; [gate_level_control] is then ignored in
+    favor of the image's own mode. *)
 
 val check_random :
   ?runs:int ->

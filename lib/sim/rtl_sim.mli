@@ -5,7 +5,18 @@
     With [~gate_level_control:true] the next state is computed by
     evaluating the synthesized (Quine–McCluskey-minimized) next-state
     logic instead of the abstract FSM — demonstrating that controller
-    synthesis preserved behavior. *)
+    synthesis preserved behavior.
+
+    Simulation is a compiled kernel: {!compile} stages the design once —
+    per-state activation/load arrays instead of per-cycle list filtering,
+    wire trees and operator dispatch folded into closures, registers in a
+    dense value array, and gate-level next-state functions memoized per
+    (state, condition) — and {!run_image} replays the staged image at
+    ≥3× the interpreted throughput with identical results. {!run} is
+    compile-and-run; {!run_reference} is the retained seed interpreter,
+    the oracle for the differential tests and the benchmark baseline.
+    Work is reported through {!Hls_obs.Trace} counters [sim/cycles] and
+    [sim/images_compiled]. *)
 
 exception Sim_error of string
 
@@ -13,6 +24,25 @@ type result = {
   finals : (string * int) list;  (** register name → final pattern *)
   cycles : int;  (** clock cycles until DONE *)
 }
+
+type image
+(** A compiled design: per-state closures plus the mutable register and
+    functional-unit state they execute against. Reusable across
+    {!run_image} calls (each run resets the state); not shareable across
+    domains. *)
+
+val compile :
+  ?gate_level_control:bool -> ?encoding:Hls_ctrl.Encoding.style -> Hls_rtl.Datapath.t -> image
+(** Stage a datapath for repeated simulation. [encoding] selects the
+    state encoding when [gate_level_control] is on (default binary). *)
+
+val run_image :
+  ?fuel:int ->
+  ?on_cycle:(cycle:int -> state:int -> regs:(string * int) list -> unit) ->
+  image ->
+  inputs:(string * int) list ->
+  result
+(** Execute a compiled image. Same contract as {!run}. *)
 
 val run :
   ?fuel:int ->
@@ -27,4 +57,19 @@ val run :
     encoding when [gate_level_control] is on (default binary).
     [on_cycle] observes every clock edge: the cycle number, the state
     entered, and the post-edge register values (sorted) — the hook used
-    by {!Vcd} waveform dumping. *)
+    by {!Vcd} waveform dumping. Equivalent to {!compile} followed by
+    {!run_image}; callers simulating one design repeatedly should compile
+    once. *)
+
+val run_reference :
+  ?fuel:int ->
+  ?gate_level_control:bool ->
+  ?encoding:Hls_ctrl.Encoding.style ->
+  ?on_cycle:(cycle:int -> state:int -> regs:(string * int) list -> unit) ->
+  Hls_rtl.Datapath.t ->
+  inputs:(string * int) list ->
+  result
+(** The seed interpreter — filters the design per cycle and walks wire
+    trees through the generic evaluators. Produces exactly the same
+    [finals], [cycles], and [on_cycle] observations as {!run}; kept as
+    the oracle for differential tests and benchmark baselines. *)

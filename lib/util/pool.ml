@@ -9,9 +9,10 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  active : int Atomic.t;  (** workers of this pool that have run >= 1 task *)
 }
 
-let rec worker_loop pool =
+let rec worker_loop pool counted =
   Mutex.lock pool.lock;
   while Queue.is_empty pool.queue && not pool.closed do
     Condition.wait pool.work_ready pool.lock
@@ -20,9 +21,17 @@ let rec worker_loop pool =
   else begin
     let task = Queue.pop pool.queue in
     Mutex.unlock pool.lock;
+    if not !counted then begin
+      (* high watermark, not a sum: with one pool per parallel region it
+         reads as "how many workers this region actually exercised" even
+         when several pools come and go within one trace window *)
+      counted := true;
+      Hls_obs.Trace.record_max "pool/workers_active"
+        (1 + Atomic.fetch_and_add pool.active 1)
+    end;
     Hls_obs.Trace.incr "pool/steals";
     task ();
-    worker_loop pool
+    worker_loop pool counted
   end
 
 let create ~workers:n =
@@ -33,9 +42,11 @@ let create ~workers:n =
       queue = Queue.create ();
       closed = false;
       workers = [];
+      active = Atomic.make 0;
     }
   in
-  pool.workers <- List.init (max 1 n) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool.workers <-
+    List.init (max 1 n) (fun _ -> Domain.spawn (fun () -> worker_loop pool (ref false)));
   pool
 
 let submit pool task =

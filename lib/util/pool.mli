@@ -8,8 +8,11 @@
 
     The pool reports execution-topology counters into
     {!Hls_obs.Trace}: [pool/submitted] (tasks enqueued),
-    [pool/steals] (tasks dequeued by a worker domain) and
-    [pool/queue_peak] (deepest the queue ever got). These describe how
+    [pool/steals] (tasks dequeued by a worker domain),
+    [pool/queue_peak] (deepest the queue ever got) and
+    [pool/workers_active] (high watermark of workers in one pool that
+    ran at least one task — the {e true} parallelism achieved, as
+    opposed to the worker count requested). These describe how
     the work was run, not what was computed, so — unlike every other
     counter namespace — they legitimately differ between job counts
     ({!map} with [jobs <= 1] never touches a queue at all). *)

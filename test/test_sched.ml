@@ -238,6 +238,31 @@ let prop_fds_respects_deadline =
       let s = Force_directed.schedule ~deadline g in
       Schedule.n_steps s <= deadline && Schedule.verify Limits.Unlimited s = Ok ())
 
+let prop_fds_matches_reference =
+  QCheck.Test.make
+    ~name:"incremental force-directed kernel is step-for-step identical to the reference"
+    ~count:120 Gen.dfg_arbitrary
+    (fun seed ->
+      let g = Gen.dfg_of_seed ~max_ops:24 seed in
+      let dep = Depgraph.of_dfg g in
+      let cl = max 1 (Depgraph.critical_length dep) in
+      List.for_all
+        (fun deadline ->
+          let trace
+              (kernel :
+                ?on_fix:(int -> int -> unit) -> deadline:int -> Depgraph.t -> int array)
+              =
+            let log = ref [] in
+            let steps =
+              kernel ~on_fix:(fun i s -> log := (i, s) :: !log) ~deadline dep
+            in
+            (steps, List.rev !log)
+          in
+          let s_inc, fixes_inc = trace Force_directed.schedule_dep in
+          let s_ref, fixes_ref = trace Force_directed.schedule_dep_reference in
+          s_inc = s_ref && fixes_inc = fixes_ref)
+        [ cl; cl + 1; cl + 3 ])
+
 let prop_freedom_valid =
   QCheck.Test.make ~name:"freedom-based valid at critical path" ~count:80
     Gen.dfg_arbitrary
@@ -430,6 +455,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_bb_is_optimal;
           QCheck_alcotest.to_alcotest prop_unconstrained_asap_is_critical_path;
           QCheck_alcotest.to_alcotest prop_fds_respects_deadline;
+          QCheck_alcotest.to_alcotest prop_fds_matches_reference;
           QCheck_alcotest.to_alcotest prop_freedom_valid;
           QCheck_alcotest.to_alcotest prop_serial_length_is_op_count;
         ] );

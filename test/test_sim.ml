@@ -131,6 +131,131 @@ let test_vcd_dump () =
     (String.split_on_char '
 ' text)
 
+(* ---- compiled simulator vs. reference interpreter ---- *)
+
+(* positive patterns, as in Cosim.check_random: divisions in the specs
+   stay well-defined and fixed-point quotients stay in range *)
+let random_input_value rng ty =
+  let bits =
+    match ty with Ast.Tbool -> 1 | Ast.Tint w -> w | Ast.Tfix (i, f) -> i + f
+  in
+  let magnitude = max 1 (min (bits - 1) 16) in
+  1 + Random.State.int rng ((1 lsl magnitude) - 1)
+
+let input_ports_of (prog : Typed.tprogram) =
+  List.filter_map
+    (fun (p : Ast.port) ->
+      if p.Ast.pdir = Ast.Input then Some (p.Ast.pname, p.Ast.pty) else None)
+    prog.Typed.tports
+
+let sim_trace kernel dp ~inputs =
+  let log = ref [] in
+  let on_cycle ~cycle ~state ~regs = log := (cycle, state, regs) :: !log in
+  let r = kernel ~on_cycle dp ~inputs in
+  (r.Rtl_sim.finals, r.Rtl_sim.cycles, List.rev !log)
+
+let check_sim_agree ~what dp ~inputs ~gate_level_control ~encoding =
+  let compiled =
+    sim_trace
+      (fun ~on_cycle dp ~inputs ->
+        Rtl_sim.run ~gate_level_control ~encoding ~on_cycle dp ~inputs)
+      dp ~inputs
+  in
+  let interpreted =
+    sim_trace
+      (fun ~on_cycle dp ~inputs ->
+        Rtl_sim.run_reference ~gate_level_control ~encoding ~on_cycle dp ~inputs)
+      dp ~inputs
+  in
+  Alcotest.(check bool)
+    (what ^ ": finals, cycles and per-cycle trace agree")
+    true (compiled = interpreted)
+
+(* every workload runs the abstract controller (two vectors) plus
+   gate-level binary and gray; one-hot is restricted to the small FSMs —
+   Quine–McCluskey over one-hot state bits of the largest workloads takes
+   tens of seconds per synthesis and each agreement check synthesizes on
+   both the compiled and reference sides *)
+let sim_modes_of name =
+  [
+    (2, false, Hls_ctrl.Encoding.Binary);
+    (1, true, Hls_ctrl.Encoding.Binary);
+    (1, true, Hls_ctrl.Encoding.Gray);
+  ]
+  @
+  if List.mem name [ "sqrt"; "gcd"; "twophase" ] then
+    [ (1, true, Hls_ctrl.Encoding.One_hot) ]
+  else []
+
+let test_compiled_sim_matches_reference () =
+  List.iter
+    (fun (name, src) ->
+      let d = Flow.synthesize src in
+      let prog = (Flow.cosim_design d).Cosim.d_prog in
+      let ports = input_ports_of prog in
+      let rng = Random.State.make [| 11 |] in
+      List.iter
+        (fun (vectors, glc, enc) ->
+          for _ = 1 to vectors do
+            let inputs =
+              List.map (fun (n, ty) -> (n, random_input_value rng ty)) ports
+            in
+            check_sim_agree
+              ~what:
+                (Printf.sprintf "%s gate=%b %s" name glc
+                   (Hls_ctrl.Encoding.style_to_string enc))
+              d.Flow.datapath ~inputs ~gate_level_control:glc ~encoding:enc
+          done)
+        (sim_modes_of name))
+    Workloads.all
+
+let test_vcd_compiled_equals_reference () =
+  List.iter
+    (fun (name, src) ->
+      let d = Flow.synthesize src in
+      let prog = (Flow.cosim_design d).Cosim.d_prog in
+      let rng = Random.State.make [| 23 |] in
+      let inputs =
+        List.map (fun (n, ty) -> (n, random_input_value rng ty)) (input_ports_of prog)
+      in
+      let fast = Vcd.dump d.Flow.datapath ~inputs in
+      let slow = Vcd.dump ~use_reference:true d.Flow.datapath ~inputs in
+      Alcotest.(check string) (name ^ ": identical VCD text") slow fast)
+    Workloads.all
+
+let prop_compiled_sim_matches_reference_random =
+  QCheck.Test.make
+    ~name:"compiled RTL simulator matches the reference on random programs" ~count:30
+    Gen.program_arbitrary
+    (fun seed ->
+      let prog = Gen.program_of_seed seed in
+      let d = Flow.synthesize_program prog in
+      let tprog = (Flow.cosim_design d).Cosim.d_prog in
+      let ports = input_ports_of tprog in
+      let rng = Random.State.make [| (seed * 7) + 1 |] in
+      (* abstract controller only: gate-level synthesis on arbitrary
+         random FSMs can hit multi-second QM minimizations, and the
+         workload matrix above already covers gate-level agreement *)
+      List.for_all
+        (fun _ ->
+          let inputs =
+            List.map (fun (n, ty) -> (n, random_input_value rng ty)) ports
+          in
+          let kernel
+              (runner :
+                ?fuel:int ->
+                ?gate_level_control:bool ->
+                ?encoding:Hls_ctrl.Encoding.style ->
+                ?on_cycle:(cycle:int -> state:int -> regs:(string * int) list -> unit) ->
+                Hls_rtl.Datapath.t ->
+                inputs:(string * int) list ->
+                Rtl_sim.result) ~on_cycle dp ~inputs =
+            runner ~on_cycle dp ~inputs
+          in
+          sim_trace (kernel Rtl_sim.run) d.Flow.datapath ~inputs
+          = sim_trace (kernel Rtl_sim.run_reference) d.Flow.datapath ~inputs)
+        [ 1; 2 ])
+
 (* ---- cosim: the verification experiment ---- *)
 
 let test_cosim_all_workloads () =
@@ -194,6 +319,13 @@ let () =
           Alcotest.test_case "cycles = states (straight line)" `Quick test_rtl_trace_matches_schedule;
         ] );
       ("vcd", [ Alcotest.test_case "dump" `Quick test_vcd_dump ]);
+      ( "compiled",
+        [
+          Alcotest.test_case "matches reference on workloads x encoding x control" `Slow
+            test_compiled_sim_matches_reference;
+          Alcotest.test_case "identical VCD text" `Quick test_vcd_compiled_equals_reference;
+          QCheck_alcotest.to_alcotest prop_compiled_sim_matches_reference_random;
+        ] );
       ( "cosim",
         [
           Alcotest.test_case "all workloads" `Slow test_cosim_all_workloads;
