@@ -1,17 +1,24 @@
 (* DSE engine benchmark: the default scheduler × limits sweep (8 × 5 =
-   40 points) over the paper's differential-equation workload, run three
+   40 points) over the paper's differential-equation workload, run four
    ways with fresh engines each iteration:
 
      serial  — memoization off, calling domain only (every point pays
                the full flow; equivalent to the pre-engine sweep loop)
      memo/1  — layered cache on, calling domain only
      memo/N  — layered cache on, N worker domains requested
+     pruned  — layered cache on, successive-halving sweep: only
+               promising backend classes are promoted
 
-   Every iteration checks that all three modes produce identical designs
-   at every point before any time is reported. Results land in a JSON
-   file (hand-rolled writer/parser in Hls_util.Json); --validate reparses
-   an emitted file and checks its shape, which is what the @bench-smoke
-   alias runs. *)
+   Every iteration checks that the first three modes produce identical
+   designs at every point, and that the pruned sweep's Pareto frontier
+   is identical to the exhaustive one, before any time is reported.
+   Results land in a JSON file (hand-rolled writer/parser in
+   Hls_util.Json); --validate reparses an emitted file, checks its
+   shape, and enforces the performance gates: memo/N must not lose to
+   memo/1 (floor 0.9 when the pool legitimately fell back to the
+   calling domain on a machine with no spare cores), the pruned sweep
+   must promote at most half the points, and the pruned counters must
+   be present. The @bench-smoke alias runs emit + validate. *)
 
 open Hls_core
 
@@ -56,35 +63,52 @@ let run_bench ~iters ~jobs ~out =
   (* warm the code paths and allocator before anything is timed *)
   if iters > 1 then ignore (sweep ~memoize:false ~jobs:1 ());
   let serial_ms = ref [] and memo1_ms = ref [] and memon_ms = ref [] in
+  let pruned_ms = ref [] in
   let stages_serial = ref [] and stages_memo = ref [] in
   let cache = ref None in
   let identical = ref true in
+  let frontier_identical = ref true in
   let points = ref 0 in
+  let promoted = ref 0 and pruned_points = ref 0 in
   let workers_used = ref 0 in
+  let serial_fallback = ref false in
   for _ = 1 to iters do
     Timing.reset ();
     let ps, t_serial = timed (sweep ~memoize:false ~jobs:1) in
     stages_serial := Timing.snapshot ();
     let p1, t_memo1 = timed (sweep ~memoize:true ~jobs:1) in
     (* full trace reset (durations and counters) so the counter
-       snapshot embedded below covers exactly the last memo/N sweep *)
+       snapshot embedded below covers exactly the last memo/N and
+       pruned sweeps *)
     Hls_obs.Trace.reset ();
     let engine = Dse.create ~config:{ Dse.default_config with Dse.jobs = jobs } src in
     let pn, t_memon = timed (fun () -> Explore.sweep ~engine src) in
     stages_memo := Timing.snapshot ();
     cache := Some (Dse.stats engine);
-    (* true parallelism: workers that dequeued at least one task during
-       the memo/N sweep (the trace was reset just before it), not the
-       requested count *)
+    (* true parallelism: workers that participated in the memo/N sweep
+       (the trace was reset just before it), not the requested count —
+       the pool's per-map watermark reports 1 when it fell back to the
+       calling domain *)
     workers_used :=
       max !workers_used
         (if jobs <= 1 then 1 else Hls_obs.Trace.counter "pool/workers_active");
+    if jobs > 1 && Hls_obs.Trace.counter "pool/serial_fallbacks" > 0 then
+      serial_fallback := true;
+    (* pruned sweep on a fresh engine: pays its own frontend/midend/
+       schedule, but promotes only surviving backend classes *)
+    let pengine = Dse.create ~config:{ Dse.default_config with Dse.jobs = jobs } src in
+    let pr, t_pruned = timed (fun () -> Explore.sweep_pruned ~engine:pengine src) in
+    promoted := List.length pr.Explore.evaluated;
+    pruned_points := List.length pr.Explore.pruned;
     points := List.length ps;
     let sg l = List.map (fun p -> signature p.Explore.design) l in
     if not (sg ps = sg p1 && sg p1 = sg pn) then identical := false;
+    if sg (Explore.pareto ps) <> sg (Explore.pareto pr.Explore.evaluated) then
+      frontier_identical := false;
     serial_ms := (1e3 *. t_serial) :: !serial_ms;
     memo1_ms := (1e3 *. t_memo1) :: !memo1_ms;
-    memon_ms := (1e3 *. t_memon) :: !memon_ms
+    memon_ms := (1e3 *. t_memon) :: !memon_ms;
+    pruned_ms := (1e3 *. t_pruned) :: !pruned_ms
   done;
   let runs xs = Obj [ ("median", Num (median xs)); ("runs", Arr (List.map (fun x -> Num x) xs)) ] in
   (* paired speedup: ambient load drifts over the run, and a ratio of
@@ -98,11 +122,14 @@ let run_bench ~iters ~jobs ~out =
      workers_used) or contention ate the win *)
   let parallel_speedup = median (List.map2 ( /. ) !memo1_ms !memon_ms) in
   let no_parallel_speedup = jobs > 1 && parallel_speedup <= 1.0 in
-  if no_parallel_speedup then
+  if no_parallel_speedup && not !serial_fallback then
     Printf.eprintf
       "warning: jobs=%d produced no parallel speedup over memo/1 (%.2fx, %d worker(s) active)\n"
       jobs parallel_speedup !workers_used;
   let cache_stats = Option.get !cache in
+  let promoted_fraction =
+    float_of_int !promoted /. float_of_int (max 1 (!promoted + !pruned_points))
+  in
   let json =
     Obj
       [
@@ -113,12 +140,19 @@ let run_bench ~iters ~jobs ~out =
         ("jobs_requested", Num (float_of_int jobs));
         ("workers_used", Num (float_of_int !workers_used));
         ("no_parallel_speedup", Bool no_parallel_speedup);
+        ("serial_fallback", Bool !serial_fallback);
         ("identical_designs", Bool !identical);
+        ("frontier_identical", Bool !frontier_identical);
+        ("promoted_points", Num (float_of_int !promoted));
+        ("pruned_points", Num (float_of_int !pruned_points));
+        ("promoted_fraction", Num promoted_fraction);
         ("serial_ms", runs !serial_ms);
         ("memo_jobs1_ms", runs !memo1_ms);
         ("memo_jobsN_ms", runs !memon_ms);
+        ("pruned_ms", runs !pruned_ms);
         ("speedup_memo_jobs1", Num (paired_speedup !memo1_ms));
         ("speedup_memo_jobsN", Num (paired_speedup !memon_ms));
+        ("speedup_pruned_vs_memo1", Num (median (List.map2 ( /. ) !memo1_ms !pruned_ms)));
         ( "cache",
           Obj
             [
@@ -137,11 +171,15 @@ let run_bench ~iters ~jobs ~out =
   let oc = open_out out in
   output_string oc (to_string json);
   close_out oc;
-  Printf.printf "%s: %d points, serial %.1f ms, memo/1 %.1f ms (%.2fx), memo/%d %.1f ms (%.2fx), identical designs: %b\n"
+  Printf.printf
+    "%s: %d points, serial %.1f ms, memo/1 %.1f ms (%.2fx), memo/%d %.1f ms (%.2fx%s), pruned %.1f ms (%d/%d promoted), identical designs: %b, identical frontier: %b\n"
     out !points (median !serial_ms) (median !memo1_ms)
     (paired_speedup !memo1_ms) jobs (median !memon_ms)
-    (paired_speedup !memon_ms) !identical;
-  if not !identical then exit 1
+    (paired_speedup !memon_ms)
+    (if !serial_fallback then ", serial fallback" else "")
+    (median !pruned_ms) !promoted (!promoted + !pruned_points) !identical
+    !frontier_identical;
+  if not !identical || not !frontier_identical then exit 1
 
 let validate file =
   let open Hls_util.Json in
@@ -171,14 +209,17 @@ let validate file =
       List.iter
         (fun key -> ignore (num key))
         [ "points"; "iters"; "jobs_requested"; "workers_used"; "speedup_memo_jobs1";
-          "speedup_memo_jobsN" ];
-      (match member "no_parallel_speedup" json with
-      | Some (Bool _) -> ()
-      | _ -> fail "missing no_parallel_speedup");
-      (match member "identical_designs" json with
-      | Some (Bool true) -> ()
-      | Some (Bool false) -> fail "identical_designs is false"
-      | _ -> fail "missing identical_designs");
+          "speedup_memo_jobsN"; "promoted_points"; "pruned_points";
+          "promoted_fraction"; "speedup_pruned_vs_memo1" ];
+      let bool_field key =
+        match member key json with
+        | Some (Bool b) -> b
+        | _ -> fail (Printf.sprintf "missing boolean field %S" key)
+      in
+      ignore (bool_field "no_parallel_speedup");
+      let serial_fallback = bool_field "serial_fallback" in
+      if not (bool_field "identical_designs") then fail "identical_designs is false";
+      if not (bool_field "frontier_identical") then fail "frontier_identical is false";
       (match member "cache" json with
       | Some (Obj _) -> ()
       | _ -> fail "missing cache object");
@@ -189,11 +230,32 @@ let validate file =
               (List.exists
                  (fun (k, _) -> String.length k > 4 && String.sub k 0 4 = "dse/")
                  counters)
-          then fail "counters object has no dse/ entries"
+          then fail "counters object has no dse/ entries";
+          List.iter
+            (fun key ->
+              if not (List.mem_assoc key counters) then
+                fail (Printf.sprintf "counters object is missing %S" key))
+            [ "dse/points_evaluated"; "dse/pruned_points" ]
       | _ -> fail "missing counters object");
       if num "points" <= 0.0 then fail "no points";
-      Printf.printf "%s: valid (%.0f points, memo/N speedup %.2fx)\n" file (num "points")
-        (num "speedup_memo_jobsN")
+      (* the parallel gate: requesting jobs>1 must never lose to memo/1.
+         When the pool legitimately fell back to the calling domain
+         (no spare cores) the two sweeps run the same code and only
+         measurement noise separates them, hence the 0.9 floor. *)
+      let floor = if serial_fallback then 0.9 else 1.0 in
+      if num "speedup_memo_jobsN" < floor then
+        fail
+          (Printf.sprintf "speedup_memo_jobsN %.3f below gate %.1f%s"
+             (num "speedup_memo_jobsN") floor
+             (if serial_fallback then " (serial fallback)" else ""));
+      if num "promoted_fraction" > 0.5 +. 1e-9 then
+        fail
+          (Printf.sprintf "pruned sweep promoted %.0f%% of points (gate: 50%%)"
+             (100.0 *. num "promoted_fraction"));
+      Printf.printf
+        "%s: valid (%.0f points, memo/N speedup %.2fx, pruned promoted %.0f%%)\n" file
+        (num "points") (num "speedup_memo_jobsN")
+        (100.0 *. num "promoted_fraction")
 
 let () =
   let iters = ref 5 and jobs = ref 4 and out = ref "BENCH_dse.json" in

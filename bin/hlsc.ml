@@ -446,26 +446,73 @@ let timings_flag =
     value & flag
     & info [ "timings" ] ~doc:"Append the per-stage wall-clock breakdown to the table.")
 
+let prune_flag =
+  Arg.(
+    value & flag
+    & info [ "prune" ]
+        ~doc:
+          "Prune the sweep with pareto-guided successive halving: every point runs \
+           the cheap stages, but only promising backend classes are promoted through \
+           allocation/binding/control. The reported frontier is identical to the \
+           exhaustive sweep's.")
+
+let cosim_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cosim" ] ~docv:"N"
+        ~doc:
+          "Co-simulate each Pareto-frontier design on N random input vectors \
+           (behavioral vs CDFG vs batched RTL) after the sweep.")
+
 let dse_term =
-  let run source base jobs all timings trace_out metrics =
+  let run source base jobs all timings prune cosim trace_out metrics =
     with_source source (fun ~name:_ ~src ->
         handle_errors (fun () ->
             start_tracing trace_out;
             let config = { Dse.default_config with Dse.jobs } in
+            let schedulers =
+              if all then None else Some [ base.Flow.scheduler ]
+            in
             let points =
-              if all then Explore.sweep ~config ~base src
+              if prune then begin
+                let pr = Explore.sweep_pruned ~config ~base ?schedulers src in
+                Printf.printf
+                  "pruned %d of %d points before the backend (%d rounds)\n"
+                  (List.length pr.Explore.pruned)
+                  (List.length pr.Explore.evaluated + List.length pr.Explore.pruned)
+                  pr.Explore.rounds;
+                pr.Explore.evaluated
+              end
+              else if all then Explore.sweep ~config ~base src
               else Explore.sweep_limits ~config ~base src
             in
             print_string (Explore.table ~timings points);
+            (match cosim with
+            | None -> ()
+            | Some runs ->
+                List.iter
+                  (fun (p : Explore.point) ->
+                    match
+                      Hls_sim.Cosim.check_random ~runs (Flow.cosim_design p.Explore.design)
+                    with
+                    | Ok () ->
+                        Printf.printf "cosim %-24s ok (%d vectors)\n" p.Explore.label runs
+                    | Error e ->
+                        Printf.eprintf "cosim %-24s FAILED: %s\n" p.Explore.label e;
+                        exit 1)
+                  (Explore.pareto points));
             finish_tracing trace_out metrics))
   in
   Term.(
     const run $ source_term $ options_term $ jobs_arg $ all_flag $ timings_flag
-    $ trace_out_flag $ metrics_flag)
+    $ prune_flag $ cosim_arg $ trace_out_flag $ metrics_flag)
 
 let dse_doc =
   "Sweep resource limits (or, with $(b,--all), the scheduler \\$(i,\\times) limits \
-   cross product) through the memoized DSE engine; print the trade-off table."
+   cross product) through the memoized DSE engine; print the trade-off table. \
+   $(b,--prune) promotes only promising points through the backend; $(b,--cosim) \
+   verifies the frontier designs by three-level co-simulation."
 
 let dse_cmd = Cmd.v (Cmd.info "dse" ~doc:dse_doc) dse_term
 let explore_cmd = Cmd.v (Cmd.info "explore" ~doc:(dse_doc ^ " (Alias of $(b,dse).)")) dse_term

@@ -194,29 +194,42 @@ let point_args (options : Flow.options) =
     ("encoding", Hls_ctrl.Encoding.style_to_string options.encoding);
   ]
 
+(* The cheap front of the staged flow: frontend, midend and scheduling
+   through the memo layers. Shared verbatim between [eval_result] and
+   [eval_cheap] so a pruned sweep's ranking pass and the later full
+   evaluation of the survivors probe exactly the same cache keys. *)
+let eval_stages t (options : Flow.options) =
+  let c =
+    memo t "frontend" t.n_front t.front () (fun () ->
+        match t.source with
+        | `Src s -> Flow.frontend s
+        | `Ast a -> Flow.frontend_program a)
+  in
+  let mkey = (options.opt_level, options.if_conversion) in
+  let o =
+    memo t "midend" t.n_mid t.mid mkey (fun () ->
+        Flow.midend ~opt_level:options.opt_level
+          ~if_conversion:options.if_conversion c)
+  in
+  let canonical_limits =
+    if Flow.scheduler_ignores_limits options.scheduler then Limits.Unlimited
+    else options.limits
+  in
+  let skey = (mkey, options.scheduler, canonical_limits) in
+  let sched =
+    memo t "schedule" t.n_sched t.scheds skey (fun () -> Flow.schedule options o)
+  in
+  (mkey, o, sched)
+
+let eval_cheap t (options : Flow.options) =
+  Hls_obs.Trace.with_span "dse/cheap" ~args:(point_args options) (fun () ->
+      let _, o, sched = eval_stages t options in
+      (o, sched))
+
 let eval_result t (options : Flow.options) =
   Hls_obs.Trace.with_span "dse/point" ~args:(point_args options) (fun () ->
       Hls_obs.Trace.incr "dse/points";
-      let c =
-        memo t "frontend" t.n_front t.front () (fun () ->
-            match t.source with
-            | `Src s -> Flow.frontend s
-            | `Ast a -> Flow.frontend_program a)
-      in
-      let mkey = (options.opt_level, options.if_conversion) in
-      let o =
-        memo t "midend" t.n_mid t.mid mkey (fun () ->
-            Flow.midend ~opt_level:options.opt_level
-              ~if_conversion:options.if_conversion c)
-      in
-      let canonical_limits =
-        if Flow.scheduler_ignores_limits options.scheduler then Limits.Unlimited
-        else options.limits
-      in
-      let skey = (mkey, options.scheduler, canonical_limits) in
-      let sched =
-        memo t "schedule" t.n_sched t.scheds skey (fun () -> Flow.schedule options o)
-      in
+      let mkey, o, sched = eval_stages t options in
       let bkey =
         ( mkey,
           Cfg_sched.digest sched,
@@ -249,10 +262,10 @@ let eval t options =
   match eval_result t options with Ok d -> d | Error ds -> raise (Flow.Lint_failed ds)
 
 let run_result t options_list =
-  (* jobs as configured, not clamped to the hardware: the single-flight
-     cache makes counter totals worker-count independent, and tests rely
-     on jobs > 1 actually spawning domains even on small machines
-     (Pool.map still caps workers at the number of points) *)
+  (* jobs as configured; the shared pool adapts parallelism to the
+     machine (serial fallback on boxes without spare cores), and the
+     single-flight cache makes counter totals worker-count independent
+     either way *)
   Hls_util.Pool.map ~jobs:t.config.jobs (eval_result t) options_list
 
 let run t options_list =

@@ -52,6 +52,16 @@ val create_program : ?config:config -> Ast.program -> t
 
 val config : t -> config
 
+val eval_cheap : t -> Flow.options -> Flow.optimized * Hls_sched.Cfg_sched.t
+(** Evaluate one option point through the {e cheap} stages only —
+    frontend, midend and scheduling — via the same cache keys as
+    {!eval_result}, skipping allocate/bind/control/estimate. This is
+    what a pruned sweep ranks on: the schedule fixes the step count
+    and per-class unit requirement exactly, from which sound area and
+    latency lower bounds follow without paying the backend. A later
+    {!eval_result} of the same point reuses every stage computed
+    here. *)
+
 val eval_result :
   t -> Flow.options -> (Flow.design, Hls_analysis.Diagnostic.t list) result
 (** Evaluate one option point through the cache. The returned design
@@ -66,11 +76,11 @@ val run_result :
   t ->
   Flow.options list ->
   (Flow.design, Hls_analysis.Diagnostic.t list) result list
-(** Evaluate the points on [config.jobs] worker domains; results in
-    input order. [jobs] is clamped to
-    [Domain.recommended_domain_count ()] — domains beyond the
-    hardware's parallelism only contend on the runtime's stop-the-world
-    collector. *)
+(** Evaluate the points on up to [config.jobs] workers of the shared
+    {!Hls_util.Pool}; results in input order. Effective parallelism
+    adapts to the machine — on a box with no spare cores the pool
+    falls back to the calling domain — but results and every non-pool
+    counter are identical either way. *)
 
 val eval : t -> Flow.options -> Flow.design
 (** Legacy raising wrapper: {!eval_result} with [Error ds] rethrown as

@@ -45,6 +45,16 @@ let run_points ~config ~engine src labelled =
       | Error ds -> raise (Flow.Lint_failed ds))
     labelled results
 
+let cross ~base ~schedulers ~limits =
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun l ->
+          ( Flow.scheduler_to_string s ^ " @ " ^ Limits.to_string l,
+            { base with Flow.scheduler = s; Flow.limits = l } ))
+        limits)
+    schedulers
+
 let sweep_limits ?(config = Dse.default_config) ?engine ?(base = Flow.default_options)
     ?(limits = default_limits) src =
   run_points ~config ~engine src
@@ -59,34 +69,61 @@ let sweep_schedulers ?(config = Dse.default_config) ?engine
 
 let sweep ?(config = Dse.default_config) ?engine ?(base = Flow.default_options)
     ?(schedulers = default_schedulers) ?(limits = default_limits) src =
-  run_points ~config ~engine src
-    (List.concat_map
-       (fun s ->
-         List.map
-           (fun l ->
-             ( Flow.scheduler_to_string s ^ " @ " ^ Limits.to_string l,
-               { base with Flow.scheduler = s; Flow.limits = l } ))
-           limits)
-       schedulers)
+  run_points ~config ~engine src (cross ~base ~schedulers ~limits)
 
-let dominates a b =
-  (a.area <= b.area && a.latency_ns < b.latency_ns)
-  || (a.area < b.area && a.latency_ns <= b.latency_ns)
+(* ---- pareto frontier ---- *)
+
+let value_dominates (qa, ql) (pa, pl) =
+  (qa <= pa && ql < pl) || (qa < pa && ql <= pl)
+
+let dominates a b = value_dominates (a.area, a.latency_ns) (b.area, b.latency_ns)
+
+(* Sort by (area, latency) and scan: a point survives iff it has the
+   minimum latency of its equal-area group and that latency is strictly
+   below every smaller-area point's. O(n log n) against the O(n²)
+   all-pairs check — quadratic was fine at 40 points, not at the
+   thousands a rewrite-rule sweep produces. *)
+let frontier_mask values =
+  let arr = Array.of_list values in
+  let n = Array.length arr in
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      let ai, li = arr.(i) and aj, lj = arr.(j) in
+      if ai <> aj then compare ai aj else compare li lj)
+    idx;
+  let mask = Array.make n false in
+  let best = ref infinity in
+  let i = ref 0 in
+  while !i < n do
+    let a, gmin = arr.(idx.(!i)) in
+    let j = ref !i in
+    while !j < n && fst arr.(idx.(!j)) = a do
+      let _, l = arr.(idx.(!j)) in
+      if l = gmin && gmin < !best then mask.(idx.(!j)) <- true;
+      incr j
+    done;
+    if gmin < !best then best := gmin;
+    i := !j
+  done;
+  Array.to_list mask
 
 let pareto points =
-  List.filter (fun p -> not (List.exists (fun q -> dominates q p) points)) points
+  let mask = frontier_mask (List.map (fun p -> (p.area, p.latency_ns)) points) in
+  List.combine points mask
+  |> List.filter_map (fun (p, keep) -> if keep then Some p else None)
   |> List.sort (fun a b -> compare a.area b.area)
 
 let table ?(timings = false) points =
   (* frontier membership by the dominance criterion itself, not by
      physical identity of the point record — cached/rewrapped designs
      make physical equality meaningless *)
-  let on_front p = not (List.exists (fun q -> dominates q p) points) in
+  let mask = frontier_mask (List.map (fun p -> (p.area, p.latency_ns)) points) in
   let t =
     Table.create ~headers:[ "design"; "FUs"; "steps"; "area"; "latency(ns)"; "pareto" ]
   in
-  List.iter
-    (fun p ->
+  List.iter2
+    (fun p on_front ->
       Table.add_row t
         [
           p.label;
@@ -94,10 +131,361 @@ let table ?(timings = false) points =
           string_of_int p.design.Flow.estimate.Hls_rtl.Estimate.compute_steps;
           string_of_int p.area;
           Printf.sprintf "%.0f" p.latency_ns;
-          (if on_front p then "*" else "");
+          (if on_front then "*" else "");
         ])
-    points;
+    points mask;
   let body = Table.render t in
   if timings then
     body ^ Format.asprintf "@.stage timings:@.%a" Timing.pp (Timing.snapshot ())
   else body
+
+(* ---- sound lower bounds from the cheap stages ---- *)
+
+(* Everything below is derived from the schedule and CFG alone — no
+   allocation, binding or control synthesis — and underestimates the
+   real Estimate componentwise. That soundness is what lets the pruned
+   sweep discard a point before its backend runs while still
+   guaranteeing the exhaustive frontier: if an evaluated design
+   dominates a point's lower bounds, it dominates the point's true
+   values (dominance is monotone in both coordinates), and dominance is
+   transitive, so no pruned point can ever have made the frontier. *)
+module Bound = struct
+  let bits_of (ty : Hls_lang.Ast.ty) =
+    match ty with
+    | Hls_lang.Ast.Tbool -> 1
+    | Hls_lang.Ast.Tint w -> w
+    | Hls_lang.Ast.Tfix (i, f) -> i + f
+
+  let real_classes =
+    [ Hls_cdfg.Op.C_alu; Hls_cdfg.Op.C_mul; Hls_cdfg.Op.C_div; Hls_cdfg.Op.C_shift ]
+
+  let min_class_area cls ~width =
+    let a =
+      List.fold_left
+        (fun acc (c : Hls_rtl.Component.t) ->
+          if c.Hls_rtl.Component.cls = cls then min acc (Hls_rtl.Component.area c ~width)
+          else acc)
+        max_int Hls_rtl.Component.library
+    in
+    if a = max_int then 0 else a
+
+  let min_class_delay cls =
+    let d =
+      List.fold_left
+        (fun acc (c : Hls_rtl.Component.t) ->
+          if c.Hls_rtl.Component.cls = cls then min acc c.Hls_rtl.Component.delay_ns
+          else acc)
+        infinity Hls_rtl.Component.library
+    in
+    if d = infinity then 0.0 else d
+
+  (* Per-class peak demand across blocks: the allocator can share units
+     between blocks but never within a step. Two floors per class, keep
+     the larger. Width-aware: the operations of one step run on distinct
+     units, each at least as wide as its own operation, so the busiest
+     step's sum of cheapest-component areas at each operation's width is
+     unavoidable. Count-based: the peak concurrent count (which also
+     covers multi-step occupancy no single start step exhibits) times
+     the cheapest component at the block's narrowest class width. *)
+  let fu_area_lb cs =
+    let cfg = Cfg_sched.cfg cs in
+    let best = Hashtbl.create 4 in
+    let bump cls a =
+      let cur = Option.value (Hashtbl.find_opt best cls) ~default:0 in
+      if a > cur then Hashtbl.replace best cls a
+    in
+    List.iter
+      (fun bid ->
+        let sched = Cfg_sched.block_schedule cs bid in
+        let g = Hls_cdfg.Cfg.dfg cfg bid in
+        let minw = Hashtbl.create 4 in
+        Hls_cdfg.Dfg.iter
+          (fun nid _ ->
+            if Hls_cdfg.Dfg.occupies_step g nid then begin
+              let cls = Hls_cdfg.Dfg.fu_class_of g nid in
+              if List.mem cls real_classes then begin
+                let w = bits_of (Hls_cdfg.Dfg.ty g nid) in
+                let cur = Option.value (Hashtbl.find_opt minw cls) ~default:max_int in
+                Hashtbl.replace minw cls (min cur w)
+              end
+            end)
+          g;
+        List.iter
+          (fun (cls, n) ->
+            match Hashtbl.find_opt minw cls with
+            | Some w when List.mem cls real_classes ->
+                bump cls (n * min_class_area cls ~width:w)
+            | _ -> ())
+          (Schedule.fu_requirement sched);
+        for s = 0 to Schedule.n_steps sched - 1 do
+          let sums = Hashtbl.create 4 in
+          List.iter
+            (fun nid ->
+              if Hls_cdfg.Dfg.occupies_step g nid then begin
+                let cls = Hls_cdfg.Dfg.fu_class_of g nid in
+                if List.mem cls real_classes then begin
+                  let a = min_class_area cls ~width:(bits_of (Hls_cdfg.Dfg.ty g nid)) in
+                  let cur = Option.value (Hashtbl.find_opt sums cls) ~default:0 in
+                  Hashtbl.replace sums cls (cur + a)
+                end
+              end)
+            (Schedule.ops_in_step sched s);
+          Hashtbl.iter bump sums
+        done)
+      (Hls_cdfg.Cfg.block_ids cfg);
+    Hashtbl.fold (fun _ a acc -> acc + a) best 0
+
+  let port_names (o : Flow.optimized) =
+    List.map (fun (p : Hls_lang.Ast.port) -> p.Hls_lang.Ast.pname)
+      o.Flow.o_prog.Hls_lang.Typed.tports
+
+  (* Every port read or written anywhere keeps a dedicated register for
+     the whole run — the allocator never merges ports (their values are
+     externally observable) — so their areas are unavoidable at every
+     step boundary. *)
+  let port_reg_area (o : Flow.optimized) cs =
+    let cfg = Cfg_sched.cfg cs in
+    let touched = Hashtbl.create 16 in
+    List.iter
+      (fun bid ->
+        let g = Hls_cdfg.Cfg.dfg cfg bid in
+        List.iter (fun (v, _) -> Hashtbl.replace touched v ()) (Hls_cdfg.Dfg.reads g);
+        List.iter (fun (v, _) -> Hashtbl.replace touched v ()) (Hls_cdfg.Dfg.writes g))
+      (Hls_cdfg.Cfg.block_ids cfg);
+    List.fold_left
+      (fun acc (p : Hls_lang.Ast.port) ->
+        if Hashtbl.mem touched p.Hls_lang.Ast.pname then
+          acc + Hls_rtl.Component.register_area ~width:(bits_of p.Hls_lang.Ast.pty)
+        else acc)
+      0 o.Flow.o_prog.Hls_lang.Typed.tports
+
+  (* Peak non-port storage demand: at any step boundary of a block,
+     every live stored value (Lifetime) occupies a distinct register at
+     least as wide as the value — variables merged across blocks and
+     shared temp tracks cannot shrink a single boundary's footprint.
+     Port-variable spans are excluded because {!port_reg_area} already
+     counts those registers unconditionally, so the two bounds add. *)
+  let live_reg_area (o : Flow.optimized) cs =
+    let ports = port_names o in
+    let cfg = Cfg_sched.cfg cs in
+    List.fold_left
+      (fun acc bid ->
+        let g = Hls_cdfg.Cfg.dfg cfg bid in
+        let sched = Cfg_sched.block_schedule cs bid in
+        let term_cond =
+          match Hls_cdfg.Cfg.term cfg bid with
+          | Hls_cdfg.Cfg.Branch (c, _, _) -> Some c
+          | _ -> None
+        in
+        let n = Schedule.n_steps sched in
+        let diff = Array.make (n + 2) 0 in
+        let add lo hi w =
+          let lo = max 0 lo and hi = min n hi in
+          if lo <= hi then begin
+            diff.(lo) <- diff.(lo) + w;
+            diff.(hi + 1) <- diff.(hi + 1) - w
+          end
+        in
+        List.iter
+          (fun (vi : Hls_alloc.Lifetime.value_info) ->
+            let w =
+              Hls_rtl.Component.register_area
+                ~width:(bits_of (Hls_cdfg.Dfg.ty g vi.Hls_alloc.Lifetime.nid))
+            in
+            match vi.Hls_alloc.Lifetime.storage with
+            | Hls_alloc.Lifetime.Temp iv -> add iv.Interval.lo iv.Interval.hi w
+            | Hls_alloc.Lifetime.In_variable v when not (List.mem v ports) ->
+                add vi.Hls_alloc.Lifetime.produced (vi.Hls_alloc.Lifetime.last_use - 1) w
+            | Hls_alloc.Lifetime.In_variable _ | Hls_alloc.Lifetime.No_storage -> ())
+          (Hls_alloc.Lifetime.analyze sched ~term_cond);
+        let best = ref 0 and run = ref 0 in
+        Array.iter
+          (fun d ->
+            run := !run + d;
+            if !run > !best then best := !run)
+          diff;
+        max acc !best)
+      0
+      (Hls_cdfg.Cfg.block_ids cfg)
+
+  (* The controller keeps at least its state register; combinational
+     next-state logic only adds on top. *)
+  let ctrl_area_lb (options : Flow.options) cs =
+    let states = max 1 (Cfg_sched.total_states cs) in
+    Hls_rtl.Component.register_area
+      ~width:(Hls_ctrl.Encoding.width options.Flow.encoding ~n_states:states)
+
+  (* Every scheduled operation's activity pays register read + one mux
+     level + its unit's component delay, and that component belongs to
+     the operation's class. *)
+  let cycle_lb cs =
+    let cfg = Cfg_sched.cfg cs in
+    let worst =
+      List.fold_left
+        (fun acc bid ->
+          let g = Hls_cdfg.Cfg.dfg cfg bid in
+          Hls_cdfg.Dfg.fold
+            (fun acc nid _ ->
+              if Hls_cdfg.Dfg.occupies_step g nid then
+                max acc (min_class_delay (Hls_cdfg.Dfg.fu_class_of g nid))
+              else acc)
+            acc g)
+        0.0
+        (Hls_cdfg.Cfg.block_ids cfg)
+    in
+    if worst > 0.0 then
+      Hls_rtl.Component.register_delay_ns +. Hls_rtl.Component.mux_delay_ns +. worst
+    else Hls_rtl.Component.register_delay_ns
+
+  let compute (options : Flow.options) (o : Flow.optimized) cs =
+    let area =
+      fu_area_lb cs + port_reg_area o cs + live_reg_area o cs + ctrl_area_lb options cs
+    in
+    let latency = cycle_lb cs *. float_of_int (Cfg_sched.compute_steps cs) in
+    (area, latency)
+end
+
+(* ---- pruned sweep: pareto-guided successive halving ---- *)
+
+type pruned_point = {
+  pr_label : string;
+  pr_options : Flow.options;
+  pr_area_lb : int;
+  pr_latency_lb : float;
+}
+
+type pruned_sweep = {
+  evaluated : point list;
+  pruned : pruned_point list;
+  rounds : int;
+}
+
+(* Two option points whose cheap stages agree on this key share one
+   backend run (the Dse backend layer's key), hence one true
+   (area, latency): evaluating one representative reveals the exact
+   value of every member. *)
+let backend_class (options : Flow.options) sched =
+  String.concat "|"
+    [
+      Flow.opt_level_to_string options.Flow.opt_level;
+      string_of_bool options.Flow.if_conversion;
+      Cfg_sched.digest sched;
+      Flow.allocator_to_string options.Flow.allocator;
+      string_of_bool options.Flow.share_variables;
+      Hls_ctrl.Encoding.style_to_string options.Flow.encoding;
+    ]
+
+let run_points_pruned ~config ~engine src labelled =
+  let engine = match engine with Some e -> e | None -> Dse.create ~config src in
+  let jobs = (Dse.config engine).Dse.jobs in
+  let n = List.length labelled in
+  let items = Array.of_list labelled in
+  (* rank pass: every point through the (memoized) cheap stages *)
+  let cheap =
+    Array.of_list
+      (Pool.map ~jobs (fun (_, options) -> Dse.eval_cheap engine options) labelled)
+  in
+  let lbs =
+    Array.init n (fun i ->
+        let _, options = items.(i) in
+        let o, cs = cheap.(i) in
+        Bound.compute options o cs)
+  in
+  let keys =
+    Array.init n (fun i ->
+        let _, options = items.(i) in
+        backend_class options (snd cheap.(i)))
+  in
+  let score i = float_of_int (fst lbs.(i)) *. max 1.0 (snd lbs.(i)) in
+  let status = Array.make n `Pending in
+  let is_pending i = match status.(i) with `Pending -> true | _ -> false in
+  let class_value : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  let reals = ref [] in
+  let dominated v = List.exists (fun q -> value_dominates q v) !reals in
+  let prune i =
+    status.(i) <- `Pruned;
+    Hls_obs.Trace.incr "dse/pruned_points"
+  in
+  let promote idxs =
+    let results = Dse.run_result engine (List.map (fun i -> snd items.(i)) idxs) in
+    List.iter2
+      (fun i r ->
+        match r with
+        | Error ds -> raise (Flow.Lint_failed ds)
+        | Ok d ->
+            let label, options = items.(i) in
+            let p = point_of label options d in
+            status.(i) <- `Evaluated p;
+            Hls_obs.Trace.incr "dse/points_evaluated";
+            Hashtbl.replace class_value keys.(i) (p.area, p.latency_ns);
+            reals := (p.area, p.latency_ns) :: !reals)
+      idxs results
+  in
+  let rounds = ref 0 in
+  let running = ref true in
+  while !running do
+    (* prune: by exact value once a point's backend class has been
+       evaluated, by sound lower bounds before *)
+    for i = 0 to n - 1 do
+      if is_pending i then
+        match Hashtbl.find_opt class_value keys.(i) with
+        | Some v -> if dominated v then prune i
+        | None -> if dominated lbs.(i) then prune i
+    done;
+    (* promote: one representative per still-unknown backend class, the
+       most promising quarter (by area-bound × latency-bound) per round
+       — successive halving over classes, not raw points, so duplicate
+       schedules never burn a promotion slot *)
+    let unknown = Hashtbl.create 16 in
+    for i = n - 1 downto 0 do
+      if is_pending i && not (Hashtbl.mem class_value keys.(i)) then
+        Hashtbl.replace unknown keys.(i) i
+    done;
+    let reps = Hashtbl.fold (fun _ i acc -> i :: acc) unknown [] in
+    if reps = [] then running := false
+    else begin
+      incr rounds;
+      let reps = List.sort (fun i j -> compare (score i, i) (score j, j)) reps in
+      let k = (List.length reps + 3) / 4 in
+      promote (List.filteri (fun pos _ -> pos < k) reps)
+    end
+  done;
+  (* every surviving point's class is now evaluated: non-dominated ones
+     materialize from the backend cache, the rest are pruned by their
+     exact value *)
+  let survivors = ref [] in
+  for i = n - 1 downto 0 do
+    if is_pending i then begin
+      let v = Hashtbl.find class_value keys.(i) in
+      if dominated v then prune i else survivors := i :: !survivors
+    end
+  done;
+  promote !survivors;
+  let indices = List.init n Fun.id in
+  let evaluated =
+    List.filter_map
+      (fun i -> match status.(i) with `Evaluated p -> Some p | _ -> None)
+      indices
+  in
+  let pruned =
+    List.filter_map
+      (fun i ->
+        match status.(i) with
+        | `Pruned ->
+            let label, options = items.(i) in
+            Some
+              {
+                pr_label = label;
+                pr_options = options;
+                pr_area_lb = fst lbs.(i);
+                pr_latency_lb = snd lbs.(i);
+              }
+        | _ -> None)
+      indices
+  in
+  Hls_obs.Trace.record_max "dse/prune_rounds" !rounds;
+  { evaluated; pruned; rounds = !rounds }
+
+let sweep_pruned ?(config = Dse.default_config) ?engine ?(base = Flow.default_options)
+    ?(schedulers = default_schedulers) ?(limits = default_limits) src =
+  run_points_pruned ~config ~engine src (cross ~base ~schedulers ~limits)

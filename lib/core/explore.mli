@@ -55,8 +55,93 @@ val sweep :
 (** Full scheduler × limits cross product (default 8 × 5 = 40 points),
     labelled ["scheduler @ limits"]. *)
 
+type pruned_point = {
+  pr_label : string;
+  pr_options : Flow.options;
+  pr_area_lb : int;  (** sound area lower bound the point was ranked on *)
+  pr_latency_lb : float;  (** sound latency lower bound *)
+}
+
+type pruned_sweep = {
+  evaluated : point list;
+      (** points promoted through the backend, in sweep order — a
+          superset of the frontier, so [pareto evaluated] equals the
+          exhaustive sweep's frontier exactly *)
+  pruned : pruned_point list;  (** points discarded before their backend ran *)
+  rounds : int;  (** successive-halving promotion rounds *)
+}
+
+val sweep_pruned :
+  ?config:Dse.config ->
+  ?engine:Dse.t ->
+  ?base:Flow.options ->
+  ?schedulers:Flow.scheduler list ->
+  ?limits:Hls_sched.Limits.t list ->
+  string ->
+  pruned_sweep
+(** The scheduler × limits cross product under pareto-guided successive
+    halving. Every point runs the cheap stages (frontend/midend/
+    schedule, memoized) and gets {e sound} area/latency lower bounds
+    derived from the schedule alone — per-class peak unit requirement,
+    peak live-value storage, state register, cheapest-component cycle
+    floor. Rounds then promote the most promising quarter of the
+    still-unknown backend classes through allocate/bind/control/
+    estimate; a pending point is pruned as soon as an evaluated design
+    dominates its bounds (or its exact value, once a point sharing its
+    backend cache key has been evaluated). Because the bounds
+    underestimate the true estimate componentwise and dominance is
+    monotone and transitive, a pruned point can never be on the
+    frontier: [pareto evaluated] is bit-identical to [pareto] of the
+    exhaustive {!sweep}. Reports [dse/points_evaluated],
+    [dse/pruned_points] (their sum is the point count) and
+    [dse/prune_rounds] through {!Hls_obs.Trace}. *)
+
+(** Sound area/latency lower bounds computed from the cheap stages
+    (schedule + CFG) alone — what {!sweep_pruned} ranks and prunes on.
+    Exposed so tests can assert soundness ([compute] never exceeds the
+    true estimate) directly. *)
+module Bound : sig
+  val fu_area_lb : Hls_sched.Cfg_sched.t -> int
+  (** Per-class peak demand: the larger of the busiest step's
+      width-aware cheapest-component sum (concurrent operations run on
+      distinct units, each at least as wide as its own operation) and
+      peak concurrency × cheapest component at the narrowest class
+      width. *)
+
+  val port_reg_area : Flow.optimized -> Hls_sched.Cfg_sched.t -> int
+  (** Registers of every port read or written in the CFG — ports are
+      never shared, so these exist at every step boundary. *)
+
+  val live_reg_area : Flow.optimized -> Hls_sched.Cfg_sched.t -> int
+  (** Peak simultaneous {e non-port} stored-value footprint over all
+      step boundaries ({!Hls_alloc.Lifetime}); adds to
+      {!port_reg_area}. *)
+
+  val ctrl_area_lb : Flow.options -> Hls_sched.Cfg_sched.t -> int
+  (** The controller's state register under the point's encoding. *)
+
+  val cycle_lb : Hls_sched.Cfg_sched.t -> float
+  (** Register read + one mux level + the slowest operation's cheapest
+      class component. *)
+
+  val compute : Flow.options -> Flow.optimized -> Hls_sched.Cfg_sched.t -> int * float
+  (** [(area_lb, latency_lb)] — componentwise under the true
+      {!Hls_rtl.Estimate} of any backend completion of the point. *)
+end
+
+val dominates : point -> point -> bool
+(** [dominates a b]: [a] is no worse in both coordinates and strictly
+    better in one. *)
+
+val frontier_mask : (int * float) list -> bool list
+(** [frontier_mask values] marks, for each (area, latency) pair, whether
+    no other pair dominates it — the Pareto membership test behind
+    {!pareto} and {!table}, exposed for property tests. Sort-based,
+    O(n log n). *)
+
 val pareto : point list -> point list
-(** Points not dominated in (area, latency), sorted by area. *)
+(** Points not dominated in (area, latency), sorted by area.
+    O(n log n) via {!frontier_mask}. *)
 
 val table : ?timings:bool -> point list -> string
 (** Rendered comparison table (label, FUs, steps, area, latency, Pareto

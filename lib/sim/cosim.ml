@@ -13,15 +13,13 @@ let fmt_of_ty (ty : Ast.ty) =
   | Ast.Tint w -> Fixedpt.format ~int_bits:w ~frac_bits:0
   | Ast.Tfix (i, f) -> Fixedpt.format ~int_bits:i ~frac_bits:f
 
-let check ?(gate_level_control = false) ?image d ~inputs =
+(* Compare one already-run RTL result against fresh behavioral and CDFG
+   runs of the same vector — the common core of [check] and the batched
+   [check_random]. *)
+let compare_levels d ~inputs (rtl : Rtl_sim.result) =
   let outputs = Beh_sim.output_ports d.d_prog in
   let beh = Beh_sim.run d.d_prog ~inputs in
   let cfg_out = Cfg_sim.run d.d_cfg ~inputs in
-  let rtl =
-    match image with
-    | Some img -> Rtl_sim.run_image img ~inputs
-    | None -> Rtl_sim.run ~gate_level_control d.d_datapath ~inputs
-  in
   let lookup who l name =
     match List.assoc_opt name l with
     | Some v -> Ok v
@@ -42,6 +40,14 @@ let check ?(gate_level_control = false) ?image d ~inputs =
   in
   compare_ports outputs
 
+let check ?(gate_level_control = false) ?image d ~inputs =
+  let rtl =
+    match image with
+    | Some img -> Rtl_sim.run_image img ~inputs
+    | None -> Rtl_sim.run ~gate_level_control d.d_datapath ~inputs
+  in
+  compare_levels d ~inputs rtl
+
 let check_random ?(runs = 20) ?(seed = 42) ?gate_level_control d =
   let rng = Random.State.make [| seed |] in
   let input_ports =
@@ -58,24 +64,34 @@ let check_random ?(runs = 20) ?(seed = 42) ?gate_level_control d =
     let magnitude = max 1 (min (bits - 1) 16) in
     1 + Random.State.int rng ((1 lsl magnitude) - 1)
   in
-  (* one compiled image serves every random vector *)
+  (* draw every vector up front, in run order, so the stimulus stream is
+     the same one the sequential loop produced *)
+  let rec gen i acc =
+    if i >= runs then List.rev acc
+    else
+      gen (i + 1)
+        (List.map (fun (name, ty) -> (name, random_value ty)) input_ports :: acc)
+  in
+  let vectors = gen 0 [] in
+  (* one compiled image serves the whole batch *)
   let image =
     Rtl_sim.compile
       ~gate_level_control:(Option.value gate_level_control ~default:false)
       d.d_datapath
   in
-  let rec go i =
-    if i >= runs then Ok ()
-    else begin
-      let inputs = List.map (fun (name, ty) -> (name, random_value ty)) input_ports in
-      match check ?gate_level_control ~image d ~inputs with
-      | Ok _ -> go (i + 1)
-      | Error e ->
-          Error
-            (Printf.sprintf "run %d (inputs %s): %s" i
-               (String.concat ", "
-                  (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) inputs))
-               e)
-    end
+  let rtl_results = Rtl_sim.run_batch image ~vectors in
+  let rec go i vs rs =
+    match (vs, rs) with
+    | [], [] -> Ok ()
+    | inputs :: vs, rtl :: rs -> (
+        match compare_levels d ~inputs rtl with
+        | Ok _ -> go (i + 1) vs rs
+        | Error e ->
+            Error
+              (Printf.sprintf "run %d (inputs %s): %s" i
+                 (String.concat ", "
+                    (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) inputs))
+                 e))
+    | _ -> assert false
   in
-  go 0
+  go 0 vectors rtl_results

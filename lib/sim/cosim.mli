@@ -32,4 +32,9 @@ val check_random :
   ?gate_level_control:bool ->
   design ->
   (unit, string) result
-(** {!check} on pseudo-random input vectors (default 20 runs). *)
+(** {!check} on pseudo-random input vectors (default 20 runs). The
+    vectors are drawn up front and the RTL level runs as one
+    {!Rtl_sim.run_batch} over a single compiled image, so the compile
+    cost is paid once per design rather than once per run; the stimulus
+    stream and the first-failure diagnostic are the same as the
+    sequential loop's. *)

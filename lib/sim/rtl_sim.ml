@@ -428,3 +428,9 @@ let run_image ?(fuel = 1_000_000) ?on_cycle img ~inputs =
 
 let run ?fuel ?gate_level_control ?encoding ?on_cycle dp ~inputs =
   run_image ?fuel ?on_cycle (compile ?gate_level_control ?encoding dp) ~inputs
+
+(* Throughput mode: one compiled image, many stimulus vectors. run_image
+   resets all mutable state up front, so replaying the image is exact. *)
+let run_batch ?fuel img ~vectors =
+  Hls_obs.Trace.add "sim/batch_vectors" (List.length vectors);
+  List.map (fun inputs -> run_image ?fuel img ~inputs) vectors

@@ -44,6 +44,15 @@ val run_image :
   result
 (** Execute a compiled image. Same contract as {!run}. *)
 
+val run_batch :
+  ?fuel:int -> image -> vectors:(string * int) list list -> result list
+(** Throughput mode: replay one compiled image over a whole batch of
+    stimulus vectors, amortizing {!compile} across the batch. Results
+    are in vector order; each run resets the image, so the batch is
+    exactly equivalent to mapping {!run_image}. Reports the batch size
+    through the [sim/batch_vectors] counter (the per-run [sim/cycles]
+    still accumulates). *)
+
 val run :
   ?fuel:int ->
   ?gate_level_control:bool ->

@@ -1,53 +1,56 @@
-(* Domain-based worker pool. A fixed set of worker domains drains a
-   Mutex/Condition-protected work queue; [map] slices a list into
-   indexed tasks so results always come back in input order no matter
-   which worker ran them. *)
+(* Domain-based worker pool. Worker domains drain a Mutex/Condition-
+   protected work queue; [map] slices a list into chunks so results
+   always come back in input order no matter which worker ran them.
+
+   Workers are spawned lazily: [create] spawns nothing, and [submit]
+   only starts a new domain when every already-running worker is busy
+   (the queue is backing up) and the pool is still under its worker
+   cap. A process-wide shared pool sized to the machine
+   ([recommended_domain_count () - 1] — the caller's domain is the
+   remaining lane) backs [map] unless an explicit pool is passed, so
+   repeated parallel regions stop paying per-region domain spawn and
+   join. On a machine without spare cores the shared pool's cap is 0
+   and every [map] degrades to the serial inline path — adaptive
+   fallback rather than paying contention for no parallelism. *)
 
 type t = {
   lock : Mutex.t;
   work_ready : Condition.t;
   queue : (unit -> unit) Queue.t;
   mutable closed : bool;
-  mutable workers : unit Domain.t list;
-  active : int Atomic.t;  (** workers of this pool that have run >= 1 task *)
+  mutable spawned : unit Domain.t list;
+  mutable n_spawned : int;
+  mutable n_idle : int;  (** workers blocked on [work_ready] *)
+  max_workers : int;
 }
 
-let rec worker_loop pool counted =
+let rec worker_loop pool =
   Mutex.lock pool.lock;
   while Queue.is_empty pool.queue && not pool.closed do
-    Condition.wait pool.work_ready pool.lock
+    pool.n_idle <- pool.n_idle + 1;
+    Condition.wait pool.work_ready pool.lock;
+    pool.n_idle <- pool.n_idle - 1
   done;
   if Queue.is_empty pool.queue then Mutex.unlock pool.lock
   else begin
     let task = Queue.pop pool.queue in
     Mutex.unlock pool.lock;
-    if not !counted then begin
-      (* high watermark, not a sum: with one pool per parallel region it
-         reads as "how many workers this region actually exercised" even
-         when several pools come and go within one trace window *)
-      counted := true;
-      Hls_obs.Trace.record_max "pool/workers_active"
-        (1 + Atomic.fetch_and_add pool.active 1)
-    end;
     Hls_obs.Trace.incr "pool/steals";
     task ();
-    worker_loop pool counted
+    worker_loop pool
   end
 
 let create ~workers:n =
-  let pool =
-    {
-      lock = Mutex.create ();
-      work_ready = Condition.create ();
-      queue = Queue.create ();
-      closed = false;
-      workers = [];
-      active = Atomic.make 0;
-    }
-  in
-  pool.workers <-
-    List.init (max 1 n) (fun _ -> Domain.spawn (fun () -> worker_loop pool (ref false)));
-  pool
+  {
+    lock = Mutex.create ();
+    work_ready = Condition.create ();
+    queue = Queue.create ();
+    closed = false;
+    spawned = [];
+    n_spawned = 0;
+    n_idle = 0;
+    max_workers = max 0 n;
+  }
 
 let submit pool task =
   Mutex.lock pool.lock;
@@ -57,8 +60,16 @@ let submit pool task =
   end;
   Queue.push task pool.queue;
   let depth = Queue.length pool.queue in
+  (* lazy spin-up: only add a domain when nobody idle is going to pick
+     this task up and the cap allows another worker *)
+  let spawn = pool.n_idle = 0 && pool.n_spawned < pool.max_workers in
+  if spawn then begin
+    pool.n_spawned <- pool.n_spawned + 1;
+    pool.spawned <- Domain.spawn (fun () -> worker_loop pool) :: pool.spawned
+  end;
   Condition.signal pool.work_ready;
   Mutex.unlock pool.lock;
+  if spawn then Hls_obs.Trace.incr "pool/domains_spawned";
   Hls_obs.Trace.incr "pool/submitted";
   Hls_obs.Trace.record_max "pool/queue_peak" depth
 
@@ -66,42 +77,123 @@ let shutdown pool =
   Mutex.lock pool.lock;
   pool.closed <- true;
   Condition.broadcast pool.work_ready;
+  (* with no worker ever spawned, nobody else can drain what is queued:
+     run the remainder on the calling domain so "let queued tasks
+     finish" holds for lazily-empty pools too *)
+  let stranded =
+    if pool.n_spawned = 0 then begin
+      let ts = List.of_seq (Queue.to_seq pool.queue) in
+      Queue.clear pool.queue;
+      ts
+    end
+    else []
+  in
+  let workers = pool.spawned in
+  pool.spawned <- [];
   Mutex.unlock pool.lock;
-  List.iter Domain.join pool.workers;
-  pool.workers <- []
+  List.iter (fun task -> task ()) stranded;
+  List.iter Domain.join workers
 
-(* Tasks never let exceptions escape into the worker loop: each slot
-   records either the result or the exception, re-raised at collection
-   time in input order. *)
-let map ?(jobs = 1) f xs =
+(* ---- shared process-wide pool ---- *)
+
+let shared =
+  lazy
+    (let p = create ~workers:(max 0 (Domain.recommended_domain_count () - 1)) in
+     at_exit (fun () -> if not p.closed then shutdown p);
+     p)
+
+(* [pool/workers_active] is a per-[map]-call watermark: how many
+   distinct domains (workers and the caller alike) ran at least one
+   chunk of that call. With a long-lived shared pool, worker identity
+   alone can't express this — a region id handed to each chunk closure
+   plus a per-domain "last region I counted myself in" slot can. *)
+let region_ids = Atomic.make 0
+let last_region : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let note_participant ~region participants =
+  if Domain.DLS.get last_region <> region then begin
+    Domain.DLS.set last_region region;
+    Hls_obs.Trace.record_max "pool/workers_active"
+      (1 + Atomic.fetch_and_add participants 1)
+  end
+
+(* Chunks never let exceptions escape into the worker loop: each item
+   slot records either the result or the exception, re-raised at
+   collection time in input order. *)
+let map ?pool ?(jobs = 1) f xs =
   let n = List.length xs in
   if jobs <= 1 || n <= 1 then List.map f xs
   else begin
-    let items = Array.of_list xs in
-    let results = Array.make n None in
-    let lock = Mutex.create () in
-    let all_done = Condition.create () in
-    let remaining = ref n in
-    let pool = create ~workers:(min jobs n) in
-    Array.iteri
-      (fun i x ->
-        submit pool (fun () ->
-            let r = try Ok (f x) with e -> Error e in
-            results.(i) <- Some r;
-            Mutex.lock lock;
-            decr remaining;
-            if !remaining = 0 then Condition.signal all_done;
-            Mutex.unlock lock))
-      items;
-    Mutex.lock lock;
-    while !remaining > 0 do
-      Condition.wait all_done lock
-    done;
-    Mutex.unlock lock;
-    shutdown pool;
-    Array.to_list results
-    |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error e) -> raise e
-         | None -> failwith "Pool.map: missing result")
+    let pool = match pool with Some p -> p | None -> Lazy.force shared in
+    (* the caller is a full participant (it helps drain), so available
+       parallelism is the worker cap plus one *)
+    let lanes = min jobs (pool.max_workers + 1) in
+    (* a few chunks per lane for balance, but no chunk smaller than
+       [min_chunk] items — per-task locking on tiny tasks is exactly
+       the overhead chunking exists to amortize *)
+    let min_chunk = 4 in
+    let chunks = min (2 * lanes) ((n + min_chunk - 1) / min_chunk) in
+    if lanes <= 1 || chunks <= 1 || pool.closed then begin
+      (* adaptive serial fallback: jobs>1 on a machine (or pool) with no
+         spare workers must never run slower than jobs=1 *)
+      Hls_obs.Trace.incr "pool/serial_fallbacks";
+      Hls_obs.Trace.record_max "pool/workers_active" 1;
+      List.map f xs
+    end
+    else begin
+      let items = Array.of_list xs in
+      let results = Array.make n None in
+      let local_lock = Mutex.create () in
+      let all_done = Condition.create () in
+      let remaining = ref chunks in
+      let region = Atomic.fetch_and_add region_ids 1 in
+      let participants = Atomic.make 0 in
+      let run_chunk lo hi () =
+        note_participant ~region participants;
+        for i = lo to hi - 1 do
+          results.(i) <- Some (try Ok (f items.(i)) with e -> Error e)
+        done;
+        Mutex.lock local_lock;
+        decr remaining;
+        if !remaining = 0 then Condition.signal all_done;
+        Mutex.unlock local_lock
+      in
+      for c = 0 to chunks - 1 do
+        let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+        submit pool (run_chunk lo hi)
+      done;
+      (* caller helps drain: run queued chunks (ours or a concurrent
+         region's) until this region's chunks have all settled *)
+      let rec drive () =
+        let task =
+          Mutex.lock pool.lock;
+          if Queue.is_empty pool.queue then begin
+            Mutex.unlock pool.lock;
+            None
+          end
+          else begin
+            let t = Queue.pop pool.queue in
+            Mutex.unlock pool.lock;
+            Some t
+          end
+        in
+        match task with
+        | Some t ->
+            Hls_obs.Trace.incr "pool/caller_runs";
+            t ();
+            drive ()
+        | None ->
+            Mutex.lock local_lock;
+            let again = !remaining > 0 in
+            if again then Condition.wait all_done local_lock;
+            Mutex.unlock local_lock;
+            if again then drive ()
+      in
+      drive ();
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> failwith "Pool.map: missing result")
+    end
   end

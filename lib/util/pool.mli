@@ -2,6 +2,17 @@
     work queue), used to evaluate independent synthesis jobs — e.g. the
     points of a design-space sweep — concurrently.
 
+    Workers are spawned {e lazily}: creating a pool starts no domain,
+    and {!submit} only spins one up when the queue is backing up (no
+    worker is idle) and the pool is under its cap. {!map} runs on a
+    process-wide shared pool sized to the machine
+    ([Domain.recommended_domain_count () - 1] workers — the calling
+    domain is the remaining lane and helps drain the queue), submits
+    {e chunks} of items rather than one locked task per item, and
+    falls back to the plain inline [List.map] whenever the machine,
+    the chunk count, or the job count leaves no parallelism to
+    exploit — so [jobs > 1] is never slower than [jobs = 1].
+
     The scheduling order of tasks across workers is nondeterministic,
     but {!map} always collects results in input order, so a parallel
     sweep returns exactly the list a serial one would.
@@ -9,30 +20,42 @@
     The pool reports execution-topology counters into
     {!Hls_obs.Trace}: [pool/submitted] (tasks enqueued),
     [pool/steals] (tasks dequeued by a worker domain),
+    [pool/caller_runs] (tasks the calling domain drained itself),
+    [pool/domains_spawned] (lazy worker spin-ups),
+    [pool/serial_fallbacks] ({!map} calls that degraded to inline),
     [pool/queue_peak] (deepest the queue ever got) and
-    [pool/workers_active] (high watermark of workers in one pool that
-    ran at least one task — the {e true} parallelism achieved, as
-    opposed to the worker count requested). These describe how
-    the work was run, not what was computed, so — unlike every other
-    counter namespace — they legitimately differ between job counts
-    ({!map} with [jobs <= 1] never touches a queue at all). *)
+    [pool/workers_active] (high watermark of distinct domains — workers
+    or caller — that ran at least one chunk of a single {!map} call:
+    the {e true} parallelism achieved, as opposed to the worker count
+    requested). These describe how the work was run, not what was
+    computed, so — unlike every other counter namespace — they
+    legitimately differ between machines and job counts. *)
 
 type t
 
 val create : workers:int -> t
-(** Spawn a pool of [workers] domains (at least one) blocked on an
-    empty work queue. *)
+(** A pool capped at [workers] domains. No domain is spawned yet —
+    workers appear one at a time as {!submit} finds the queue backed
+    up. [workers = 0] is allowed: such a pool never spawns and
+    {!shutdown} (or {!map}'s fallback) runs everything on the calling
+    domain. *)
 
 val submit : t -> (unit -> unit) -> unit
-(** Enqueue a task. Tasks must not raise — wrap fallible work yourself
-    (as {!map} does). Raises [Invalid_argument] after {!shutdown}. *)
+(** Enqueue a task, spinning up a worker first if none is idle and the
+    cap allows. Tasks must not raise — wrap fallible work yourself (as
+    {!map} does). Raises [Invalid_argument] after {!shutdown}. *)
 
 val shutdown : t -> unit
-(** Close the queue, let queued tasks finish, and join all workers. *)
+(** Close the queue, let queued tasks finish, and join all workers. If
+    no worker was ever spawned, queued tasks are run on the calling
+    domain. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~jobs f xs] is [List.map f xs] evaluated by a temporary pool of
-    [jobs] workers, results in input order. With [jobs <= 1] (the
-    default) no domain is spawned and the map runs inline. If any
-    application raises, the first exception in input order is re-raised
-    after all tasks settle. *)
+val map : ?pool:t -> ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] evaluated in chunks on the
+    shared pool (or [pool] if given — tests use this to exercise the
+    chunked path regardless of the machine), results in input order.
+    Parallelism is [min jobs (workers + 1)]: the caller participates.
+    With [jobs <= 1], a single chunk (fewer than ~8 items), or no
+    spare worker, no domain is spawned and the map runs inline — the
+    adaptive serial fallback. If any application raises, the first
+    exception in input order is re-raised after all chunks settle. *)

@@ -44,6 +44,37 @@ let test_pool_submit_after_shutdown () =
     (Invalid_argument "Pool.submit: pool is shut down")
     (fun () -> Pool.submit p (fun () -> ()))
 
+let test_pool_lazy_no_spawn () =
+  (* a sweep that fits one chunk must run inline: no domain spawned,
+     whatever the machine *)
+  let spawned0 = Hls_obs.Trace.counter "pool/domains_spawned" in
+  let fallbacks0 = Hls_obs.Trace.counter "pool/serial_fallbacks" in
+  let r = Pool.map ~jobs:8 (fun x -> x + 1) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "result" [ 2; 3; 4 ] r;
+  Alcotest.(check int) "no domain spawned for a one-chunk sweep" spawned0
+    (Hls_obs.Trace.counter "pool/domains_spawned");
+  Alcotest.(check bool) "serial fallback engaged" true
+    (Hls_obs.Trace.counter "pool/serial_fallbacks" > fallbacks0)
+
+let test_pool_explicit_chunked () =
+  (* an explicit pool with spare workers exercises the chunked path
+     deterministically even on a single-core machine *)
+  let p = Pool.create ~workers:2 in
+  let xs = List.init 24 Fun.id in
+  let spawned0 = Hls_obs.Trace.counter "pool/domains_spawned" in
+  let r = Pool.map ~pool:p ~jobs:2 (fun x -> x * 3) xs in
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * 3) xs) r;
+  Alcotest.(check bool) "worker spawned lazily on demand" true
+    (Hls_obs.Trace.counter "pool/domains_spawned" > spawned0);
+  Alcotest.(check (list int)) "pool is reusable" xs (Pool.map ~pool:p ~jobs:2 Fun.id xs);
+  Alcotest.check_raises "first exception in input order through chunks"
+    (Failure "boom 7") (fun () ->
+      ignore
+        (Pool.map ~pool:p ~jobs:2
+           (fun x -> if x >= 7 then failwith (Printf.sprintf "boom %d" x) else x)
+           xs));
+  Pool.shutdown p
+
 (* ---- json ---- *)
 
 let test_json_roundtrip () =
@@ -148,7 +179,86 @@ let test_cache_accounting () =
     (total s3.Dse.frontend + total s3.Dse.midend + total s3.Dse.schedule
    + total s3.Dse.backend)
 
+(* ---- pruned sweeps ---- *)
+
+let psig (p : Explore.point) = (p.Explore.label, signature p.Explore.design)
+
+let check_pruned_matches ?schedulers src =
+  let all = Explore.sweep ?schedulers src in
+  let pr = Explore.sweep_pruned ?schedulers src in
+  Alcotest.(check int) "evaluated + pruned = total" (List.length all)
+    (List.length pr.Explore.evaluated + List.length pr.Explore.pruned);
+  Alcotest.(check bool) "frontier identical to the exhaustive sweep" true
+    (List.map psig (Explore.pareto all)
+    = List.map psig (Explore.pareto pr.Explore.evaluated))
+
+let test_pruned_matches_exhaustive () =
+  List.iter check_pruned_matches
+    [ Workloads.diffeq; Workloads.sqrt_newton; Workloads.gcd ];
+  (* a reduced scheduler matrix takes a different promotion path *)
+  check_pruned_matches ~schedulers:[ Flow.Asap; Flow.Freedom; Flow.Trans_serial ]
+    Workloads.fir8
+
+let test_pruned_counters () =
+  Hls_obs.Trace.reset ();
+  let pr = Explore.sweep_pruned Workloads.diffeq in
+  let ev = Hls_obs.Trace.counter "dse/points_evaluated" in
+  let pd = Hls_obs.Trace.counter "dse/pruned_points" in
+  Alcotest.(check int) "evaluated counter" (List.length pr.Explore.evaluated) ev;
+  Alcotest.(check int) "pruned counter" (List.length pr.Explore.pruned) pd;
+  Alcotest.(check int) "counters partition the sweep" 40 (ev + pd);
+  Alcotest.(check bool) "something was pruned" true (pd > 0);
+  Alcotest.(check bool) "at most half promoted through the backend" true (2 * ev <= 40);
+  Alcotest.(check bool) "took more than one round" true (pr.Explore.rounds > 1)
+
+let test_bounds_sound () =
+  (* the frontier-identity argument rests on Bound.compute never
+     exceeding the true estimate; check it on every workload. The
+     exhaustive schedulers (branch-and-bound, 0/1-programming) blow up
+     on the larger specifications, so bound the matrix to the
+     polynomial ones — the bounds only read the schedule, not the
+     scheduler that produced it. *)
+  let schedulers = [ Flow.Asap; Flow.List_path; Flow.Freedom; Flow.Trans_serial ] in
+  List.iter
+    (fun (name, src) ->
+      let engine = Dse.create src in
+      let points = Explore.sweep ~engine ~schedulers src in
+      List.iter
+        (fun (p : Explore.point) ->
+          let o, cs = Dse.eval_cheap engine p.Explore.options in
+          let area_lb, lat_lb = Explore.Bound.compute p.Explore.options o cs in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s: area bound %d <= %d" name p.Explore.label
+               area_lb p.Explore.area)
+            true (area_lb <= p.Explore.area);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s: latency bound %.1f <= %.1f" name
+               p.Explore.label lat_lb p.Explore.latency_ns)
+            true
+            (lat_lb <= p.Explore.latency_ns +. 1e-6))
+        points)
+    Workloads.all
+
 (* ---- pareto marking ---- *)
+
+let test_frontier_mask_matches_reference () =
+  (* small value ranges force heavy ties and duplicates — the cases
+     where a sort-based scan is easy to get wrong *)
+  let rng = Random.State.make [| 7 |] in
+  let dom (qa, ql) (pa, pl) = (qa <= pa && ql < pl) || (qa < pa && ql <= pl) in
+  for _ = 1 to 100 do
+    let n = 1 + Random.State.int rng 60 in
+    let pts =
+      List.init n (fun _ ->
+          (Random.State.int rng 8, float_of_int (Random.State.int rng 8)))
+    in
+    let reference =
+      List.map (fun p -> not (List.exists (fun q -> dom q p) pts)) pts
+    in
+    Alcotest.(check (list bool)) "mask = quadratic reference" reference
+      (Explore.frontier_mask pts)
+  done;
+  Alcotest.(check (list bool)) "empty" [] (Explore.frontier_mask [])
 
 let test_table_marks_structural_copies () =
   let src = Workloads.sqrt_newton in
@@ -172,6 +282,10 @@ let () =
           Alcotest.test_case "more workers than work" `Quick test_pool_more_jobs_than_work;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "shutdown" `Quick test_pool_submit_after_shutdown;
+          Alcotest.test_case "lazy spawn: one chunk stays inline" `Quick
+            test_pool_lazy_no_spawn;
+          Alcotest.test_case "explicit pool: chunked path" `Quick
+            test_pool_explicit_chunked;
         ] );
       ( "json",
         [
@@ -185,9 +299,20 @@ let () =
           Alcotest.test_case "points keep their options" `Quick test_point_keeps_own_options;
           Alcotest.test_case "cache accounting" `Quick test_cache_accounting;
         ] );
+      ( "pruned",
+        [
+          Alcotest.test_case "frontier identical to exhaustive" `Quick
+            test_pruned_matches_exhaustive;
+          Alcotest.test_case "counters partition the sweep" `Quick
+            test_pruned_counters;
+          Alcotest.test_case "lower bounds never exceed the estimate" `Slow
+            test_bounds_sound;
+        ] );
       ( "pareto",
         [
           Alcotest.test_case "structural frontier marking" `Quick
             test_table_marks_structural_copies;
+          Alcotest.test_case "mask matches quadratic reference" `Quick
+            test_frontier_mask_matches_reference;
         ] );
     ]

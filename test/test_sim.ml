@@ -256,6 +256,31 @@ let prop_compiled_sim_matches_reference_random =
           = sim_trace (kernel Rtl_sim.run_reference) d.Flow.datapath ~inputs)
         [ 1; 2 ])
 
+let test_batch_equals_individual_runs () =
+  let d = Flow.synthesize Workloads.sqrt_newton in
+  let prog = (Flow.cosim_design d).Cosim.d_prog in
+  let ports = input_ports_of prog in
+  let rng = Random.State.make [| 7 |] in
+  let rec gen i acc =
+    if i >= 6 then List.rev acc
+    else
+      gen (i + 1)
+        (List.map (fun (n, ty) -> (n, random_input_value rng ty)) ports :: acc)
+  in
+  let vectors = gen 0 [] in
+  let image = Rtl_sim.compile d.Flow.datapath in
+  let batch0 = Hls_obs.Trace.counter "sim/batch_vectors" in
+  let batched = Rtl_sim.run_batch image ~vectors in
+  Alcotest.(check int) "batch size counted" 6
+    (Hls_obs.Trace.counter "sim/batch_vectors" - batch0);
+  List.iter2
+    (fun (b : Rtl_sim.result) inputs ->
+      let r = Rtl_sim.run_image image ~inputs in
+      Alcotest.(check int) "cycles agree" r.Rtl_sim.cycles b.Rtl_sim.cycles;
+      Alcotest.(check (list (pair string int)))
+        "finals agree" r.Rtl_sim.finals b.Rtl_sim.finals)
+    batched vectors
+
 (* ---- cosim: the verification experiment ---- *)
 
 let test_cosim_all_workloads () =
@@ -324,6 +349,8 @@ let () =
           Alcotest.test_case "matches reference on workloads x encoding x control" `Slow
             test_compiled_sim_matches_reference;
           Alcotest.test_case "identical VCD text" `Quick test_vcd_compiled_equals_reference;
+          Alcotest.test_case "batch replay equals individual runs" `Quick
+            test_batch_equals_individual_runs;
           QCheck_alcotest.to_alcotest prop_compiled_sim_matches_reference_random;
         ] );
       ( "cosim",
