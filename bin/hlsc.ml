@@ -19,6 +19,27 @@ open Hls_core
 
 (* ---- shared source term ---- *)
 
+(* The one guarded file reader behind every path the CLI opens. Open
+   first and report the failure, never probe-then-open: between a
+   Sys.file_exists check and the open the path can vanish or change
+   kind, and a directory path passes the probe only to blow up
+   mid-read. Here a directory, a vanished file, or a permission wall
+   all come back as an ordinary Error the caller renders — and in serve
+   mode as a per-request error response, never process death. *)
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try Ok (really_input_string ic (in_channel_length ic)) with
+          | Sys_error msg ->
+              (* opening a directory succeeds on Linux; the read is what
+                 fails, with an unhelpful errno — name the real cause *)
+              Error (if Sys.is_directory path then path ^ ": is a directory" else msg)
+          | End_of_file -> Error (path ^ ": file changed size during read"))
+
 let read_source path_opt example_opt =
   let of_name name =
     match List.assoc_opt name Workloads.all with
@@ -29,15 +50,17 @@ let read_source path_opt example_opt =
              (String.concat ", " (List.map fst Workloads.all)))
   in
   match (path_opt, example_opt) with
-  | Some path, None ->
-      if Sys.file_exists path then begin
-        let ic = open_in path in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        Ok (path, s)
-      end
-      else of_name path (* a bare workload name works positionally too *)
+  | Some path, None -> (
+      match read_file path with
+      | Ok s -> Ok (path, s)
+      | Error file_err -> (
+          (* a bare workload name works positionally too *)
+          match of_name path with
+          | Ok r -> Ok r
+          | Error name_err ->
+              (* both failed: the file error for something that looks
+                 like (or is) a path, the name suggestions otherwise *)
+              Error (if Sys.file_exists path || String.contains path '/' then file_err else name_err)))
   | None, Some name -> of_name name
   | Some _, Some _ -> Error "give either FILE or --example, not both"
   | None, None -> Error "give a FILE, a built-in workload name, or --example NAME"
@@ -541,15 +564,13 @@ let validate_arg =
            trace_event shape and the pipeline-stage coverage.")
 
 let validate_trace file =
-  let ic =
-    try open_in file
-    with Sys_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      exit 1
+  let text =
+    match read_file file with
+    | Ok text -> text
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
   in
-  let n = in_channel_length ic in
-  let text = really_input_string ic n in
-  close_in ic;
   match Hls_util.Json.parse text with
   | Error e ->
       Printf.eprintf "%s: JSON parse error: %s\n" file e;
@@ -604,6 +625,70 @@ let trace_cmd =
       const run $ validate_arg $ source_term $ options_term $ trace_out_arg $ sweep_flag
       $ jobs_arg $ metrics_flag)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let run socket stdio cache_dir max_queue workers jobs verify =
+    let config = { Hls_serve.Server.workers; max_queue; jobs; verify; cache_dir } in
+    handle_errors (fun () ->
+        let server = Hls_serve.Server.create ~config () in
+        match (socket, stdio) with
+        | Some path, false ->
+            Printf.eprintf "hlsc serve: listening on %s\n%!" path;
+            Hls_serve.Server.serve_unix server ~path
+        | None, true ->
+            Hls_serve.Server.serve_frames server ~input:Unix.stdin ~output:Unix.stdout
+        | Some _, true ->
+            Printf.eprintf "error: give --socket or --stdio, not both\n";
+            exit 1
+        | None, false ->
+            Printf.eprintf "error: give --socket PATH or --stdio\n";
+            exit 1)
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen for clients on a Unix socket at PATH.")
+  in
+  let stdio_flag =
+    Arg.(
+      value & flag
+      & info [ "stdio" ] ~doc:"Serve one client over length-prefixed frames on stdin/stdout.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist evaluated designs to a content-addressed store under DIR, so a \
+             restarted daemon answers repeated requests from disk.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int Hls_serve.Server.default_config.Hls_serve.Server.max_queue
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Refuse (typed $(b,busy) response) past N queued connections.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int Hls_serve.Server.default_config.Hls_serve.Server.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Handler domains serving connections.")
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run as a long-lived daemon answering synth/dse/lint requests as \
+         length-prefixed JSON frames over a Unix socket ($(b,--socket)) or \
+         stdin/stdout ($(b,--stdio)), with bounded-queue backpressure and an \
+         optional persistent design cache ($(b,--cache-dir))."
+  in
+  Cmd.v info
+    Term.(
+      const run $ socket_arg $ stdio_flag $ cache_dir_arg $ queue_arg $ workers_arg
+      $ jobs_arg $ verify_flag)
+
 (* ---- examples ---- *)
 
 let examples_cmd =
@@ -621,4 +706,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ synth_cmd; dse_cmd; explore_cmd; lint_cmd; trace_cmd; run_cmd; examples_cmd ]))
+          [
+            synth_cmd; dse_cmd; explore_cmd; lint_cmd; trace_cmd; run_cmd; serve_cmd;
+            examples_cmd;
+          ]))

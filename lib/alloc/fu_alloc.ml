@@ -10,7 +10,17 @@ type source =
 
 type instance = { fu_id : int; fu_cls : Op.fu_class; ops : op_ref list }
 
-type t = { instances : instance list; of_op : Cfg.bid * Dfg.nid -> int }
+(* The op → unit lookup is a hashtable, not a closure, so a finished
+   allocation — and the design containing it — can be marshalled into
+   the persistent design cache. *)
+type t = { instances : instance list; op_units : (Cfg.bid * Dfg.nid, int) Hashtbl.t }
+
+let of_op t (bid, nid) =
+  match Hashtbl.find_opt t.op_units (bid, nid) with
+  | Some id -> id
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Fu_alloc: operation b%d.%%%d is not allocated to any unit" bid nid)
 
 let collect cs =
   let cfg = Hls_sched.Cfg_sched.cfg cs in
@@ -74,12 +84,7 @@ let make_lookup instances =
     (fun inst ->
       List.iter (fun r -> Hashtbl.replace table (r.bid, r.nid) inst.fu_id) inst.ops)
     instances;
-  fun (bid, nid) ->
-    match Hashtbl.find_opt table (bid, nid) with
-    | Some id -> id
-    | None ->
-        invalid_arg
-          (Printf.sprintf "Fu_alloc: operation b%d.%%%d is not allocated to any unit" bid nid)
+  table
 
 let by_clique cs =
   let ops = Array.of_list (collect cs) in
@@ -97,7 +102,7 @@ let by_clique cs =
         { fu_id; fu_cls; ops = refs })
       groups
   in
-  { instances; of_op = make_lookup instances }
+  { instances; op_units = make_lookup instances }
 
 (* mutable instance state during greedy construction *)
 type building = {
@@ -187,7 +192,7 @@ let greedy ?(selection = `Min_mux) cs =
       (fun b -> { fu_id = b.b_id; fu_cls = b.b_cls; ops = List.rev b.b_ops })
       !instances
   in
-  { instances; of_op = make_lookup instances }
+  { instances; op_units = make_lookup instances }
 
 let n_units t = List.length t.instances
 

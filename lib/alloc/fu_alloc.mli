@@ -38,8 +38,15 @@ type instance = { fu_id : int; fu_cls : Op.fu_class; ops : op_ref list }
 
 type t = {
   instances : instance list;
-  of_op : (Cfg.bid * Dfg.nid) -> int;  (** op → unit id *)
+  op_units : (Cfg.bid * Dfg.nid, int) Hashtbl.t;
+      (** op → unit id, as data (not a closure) so an allocation can be
+          marshalled into the persistent design cache; query it through
+          {!of_op} *)
 }
+
+val of_op : t -> Cfg.bid * Dfg.nid -> int
+(** Unit id the operation was allocated to. Raises [Invalid_argument]
+    for an operation outside the allocation. *)
 
 val collect : Hls_sched.Cfg_sched.t -> op_ref list
 (** All step-occupying operations of the scheduled program, in (block,

@@ -107,19 +107,7 @@ let allocate ?(op_cap = 14) cs =
                 Hashtbl.replace lookup (r.Fu_alloc.bid, r.Fu_alloc.nid) inst.Fu_alloc.fu_id)
               inst.Fu_alloc.ops)
           instances;
-        Some
-          {
-            Fu_alloc.instances;
-            of_op =
-              (fun (bid, nid) ->
-                match Hashtbl.find_opt lookup (bid, nid) with
-                | Some id -> id
-                | None ->
-                    invalid_arg
-                      (Printf.sprintf
-                         "Ilp_alloc: operation b%d.%%%d is not allocated to any unit" bid
-                         nid));
-          }
+        Some { Fu_alloc.instances; op_units = lookup }
   end
 
 let min_units ?op_cap cs =

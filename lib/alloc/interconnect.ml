@@ -32,7 +32,7 @@ let transfers cs ~fu ~regs =
       (* FU input transfers *)
       List.iter
         (fun nid ->
-          let unit_id = fu.Fu_alloc.of_op (bid, nid) in
+          let unit_id = Fu_alloc.of_op fu (bid, nid) in
           let step = Hls_sched.Schedule.step_of sched nid in
           List.iteri
             (fun pos a ->
@@ -53,7 +53,7 @@ let transfers cs ~fu ~regs =
                   (Printf.sprintf
                      "Interconnect: write of %s (b%d.%%%d) has %d arguments, expected 1" v
                      bid nid (List.length args)))
-        | _ when Dfg.occupies_step g nid -> W_fu_out (fu.Fu_alloc.of_op (bid, nid))
+        | _ when Dfg.occupies_step g nid -> W_fu_out (Fu_alloc.of_op fu (bid, nid))
         | _ -> W_wire (bid, nid)
       in
       (* variable register latches *)
@@ -97,7 +97,7 @@ let transfers cs ~fu ~regs =
               let src =
                 match Dfg.op g nid with
                 | Op.Read v -> W_var (Reg_alloc.register_of_var regs v)
-                | _ -> W_fu_out (fu.Fu_alloc.of_op (bid, nid))
+                | _ -> W_fu_out (Fu_alloc.of_op fu (bid, nid))
               in
               emit
                 {

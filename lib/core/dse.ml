@@ -4,6 +4,8 @@ open Hls_sched
 (* Memo layers, outermost first. Each key is exactly the set of option
    fields the stage's result depends on:
 
+   persist   (binary, source, verify, canonical options)  — only with
+             [config.cache_dir]; backed by the on-disk store
    frontend  ()                                            — per engine
    midend    (opt_level, if_conversion)
    schedule  midend key + (scheduler, canonical limits)
@@ -19,13 +21,28 @@ open Hls_sched
    synthesis, and the cached design is rewrapped with the point's own
    options.
 
+   The persist layer sits on top and spans process lifetimes: an
+   in-memory single-flight table over whole evaluated points, with a
+   content-addressed disk store (Hls_util.Disk_cache) underneath. A
+   warm restart probes memory (miss), then disk (hit) and answers
+   without running any pipeline stage; corrupt or truncated entries
+   read as a miss and fall through to a fresh compute. Its key mirrors
+   the layered memo keys — same source, same verify mode, same
+   canonicalized options — plus a digest of the running binary, so a
+   rebuilt toolchain can never unmarshal a stale incompatible image.
+
    Memoization is single-flight: a slot is either [Done] or [Pending],
    and a worker that finds a key pending blocks on the engine's
    condition variable until the computing worker publishes the value.
    Exactly one compute ever runs per key, which is what makes every
    kernel counter in Hls_obs.Trace — and the hit/miss totals below — a
    deterministic function of the evaluated points, independent of the
-   worker count. *)
+   worker count.
+
+   Every acquisition of the engine lock goes through Sync.with_lock: a
+   raise inside a critical section (or from a compute observed under
+   the lock) must never leave the lock held — in a long-lived serve
+   daemon that would wedge every future request, not just this one. *)
 
 type mkey = [ `None | `Standard | `Aggressive ] * bool
 type skey = mkey * Flow.scheduler * Limits.t
@@ -37,9 +54,14 @@ type bkey =
   * bool
   * Hls_ctrl.Encoding.style
 
-type config = { jobs : int; verify : bool; memoize : bool }
+type config = {
+  jobs : int;
+  verify : bool;
+  memoize : bool;
+  cache_dir : string option;
+}
 
-let default_config = { jobs = 1; verify = false; memoize = true }
+let default_config = { jobs = 1; verify = false; memoize = true; cache_dir = None }
 
 type layer = { hits : int; misses : int }
 type stats = { frontend : layer; midend : layer; schedule : layer; backend : layer }
@@ -47,21 +69,39 @@ type stats = { frontend : layer; midend : layer; schedule : layer; backend : lay
 type counter = { mutable c_hits : int; mutable c_misses : int }
 type 'v slot = Done of 'v | Pending
 
+type presult = (Flow.design, Hls_analysis.Diagnostic.t list) result
+
 type t = {
   lock : Mutex.t;
   done_cond : Condition.t;
   config : config;
   source : [ `Src of string | `Ast of Ast.program ];
+  source_key : string;
   front : (unit, Flow.compiled slot) Hashtbl.t;
   mid : (mkey, Flow.optimized slot) Hashtbl.t;
   scheds : (skey, Cfg_sched.t slot) Hashtbl.t;
-  backs :
-    (bkey, (Flow.design, Hls_analysis.Diagnostic.t list) result slot) Hashtbl.t;
+  backs : (bkey, presult slot) Hashtbl.t;
+  persist : (string, presult slot) Hashtbl.t;
   n_front : counter;
   n_mid : counter;
   n_sched : counter;
   n_back : counter;
+  n_persist : counter;
 }
+
+(* The identity of the running binary participates in every disk key:
+   entries are Marshal images of design values, and unmarshalling an
+   image written by a binary with different type layouts is undefined
+   behavior. Keying on the executable digest turns "stale cache after
+   rebuild" into ordinary misses. *)
+let binary_digest =
+  lazy
+    (try Digest.to_hex (Digest.file Sys.executable_name)
+     with Sys_error _ -> "unknown-binary")
+
+let source_key = function
+  | `Src s -> Digest.to_hex (Digest.string s)
+  | `Ast a -> Digest.to_hex (Digest.string (Marshal.to_string (a : Ast.program) []))
 
 let make_engine config source =
   {
@@ -69,14 +109,17 @@ let make_engine config source =
     done_cond = Condition.create ();
     config;
     source;
+    source_key = source_key source;
     front = Hashtbl.create 1;
     mid = Hashtbl.create 8;
     scheds = Hashtbl.create 64;
     backs = Hashtbl.create 64;
+    persist = Hashtbl.create 64;
     n_front = { c_hits = 0; c_misses = 0 };
     n_mid = { c_hits = 0; c_misses = 0 };
     n_sched = { c_hits = 0; c_misses = 0 };
     n_back = { c_hits = 0; c_misses = 0 };
+    n_persist = { c_hits = 0; c_misses = 0 };
   }
 
 let create ?(config = default_config) src = make_engine config (`Src src)
@@ -84,31 +127,27 @@ let create_program ?(config = default_config) ast = make_engine config (`Ast ast
 let config t = t.config
 
 let clear t =
-  Mutex.lock t.lock;
-  Hashtbl.reset t.front;
-  Hashtbl.reset t.mid;
-  Hashtbl.reset t.scheds;
-  Hashtbl.reset t.backs;
-  List.iter
-    (fun c ->
-      c.c_hits <- 0;
-      c.c_misses <- 0)
-    [ t.n_front; t.n_mid; t.n_sched; t.n_back ];
-  Mutex.unlock t.lock
+  Hls_obs.Sync.with_lock t.lock (fun () ->
+      Hashtbl.reset t.front;
+      Hashtbl.reset t.mid;
+      Hashtbl.reset t.scheds;
+      Hashtbl.reset t.backs;
+      Hashtbl.reset t.persist;
+      List.iter
+        (fun c ->
+          c.c_hits <- 0;
+          c.c_misses <- 0)
+        [ t.n_front; t.n_mid; t.n_sched; t.n_back; t.n_persist ])
 
 let stats t =
-  Mutex.lock t.lock;
-  let layer c = { hits = c.c_hits; misses = c.c_misses } in
-  let s =
-    {
-      frontend = layer t.n_front;
-      midend = layer t.n_mid;
-      schedule = layer t.n_sched;
-      backend = layer t.n_back;
-    }
-  in
-  Mutex.unlock t.lock;
-  s
+  Hls_obs.Sync.with_lock t.lock (fun () ->
+      let layer c = { hits = c.c_hits; misses = c.c_misses } in
+      {
+        frontend = layer t.n_front;
+        midend = layer t.n_mid;
+        schedule = layer t.n_sched;
+        backend = layer t.n_back;
+      })
 
 let pp_stats ppf s =
   let line name l = Format.fprintf ppf "%-9s %4d hits %4d misses@." name l.hits l.misses in
@@ -125,63 +164,77 @@ let pp_stats ppf s =
    decided at a probe's first look, so totals are identical for any
    worker count: one miss per unique key, hits for every other probe. *)
 let memo t name ctr tbl key compute =
+  let locked f = Hls_obs.Sync.with_lock t.lock f in
   let bump_trace hit =
     Hls_obs.Trace.incr
       (if hit then "dse/" ^ name ^ ".hits" else "dse/" ^ name ^ ".misses")
   in
   if not t.config.memoize then begin
-    Mutex.lock t.lock;
-    ctr.c_misses <- ctr.c_misses + 1;
-    Mutex.unlock t.lock;
+    locked (fun () -> ctr.c_misses <- ctr.c_misses + 1);
     bump_trace false;
     compute ()
   end
   else begin
-    (* called with [t.lock] held, returns with it released *)
-    let compute_slot () =
-      Hashtbl.replace tbl key Pending;
-      Mutex.unlock t.lock;
+    let publish v =
+      locked (fun () ->
+          Hashtbl.replace tbl key (Done v);
+          Condition.broadcast t.done_cond)
+    in
+    let unpublish () =
+      locked (fun () ->
+          Hashtbl.remove tbl key;
+          Condition.broadcast t.done_cond)
+    in
+    let compute_published () =
       match compute () with
       | v ->
-          Mutex.lock t.lock;
-          Hashtbl.replace tbl key (Done v);
-          Condition.broadcast t.done_cond;
-          Mutex.unlock t.lock;
+          publish v;
           v
       | exception e ->
-          Mutex.lock t.lock;
-          Hashtbl.remove tbl key;
-          Condition.broadcast t.done_cond;
-          Mutex.unlock t.lock;
+          unpublish ();
           raise e
     in
-    let rec await () =
-      match Hashtbl.find_opt tbl key with
-      | Some (Done v) ->
-          Mutex.unlock t.lock;
-          v
-      | Some Pending ->
-          Condition.wait t.done_cond t.lock;
-          await ()
-      | None -> compute_slot ()
+    let role =
+      locked (fun () ->
+          match Hashtbl.find_opt tbl key with
+          | Some (Done v) ->
+              ctr.c_hits <- ctr.c_hits + 1;
+              `Hit v
+          | Some Pending ->
+              ctr.c_hits <- ctr.c_hits + 1;
+              `Wait
+          | None ->
+              ctr.c_misses <- ctr.c_misses + 1;
+              Hashtbl.replace tbl key Pending;
+              `Compute)
     in
-    Mutex.lock t.lock;
-    match Hashtbl.find_opt tbl key with
-    | Some (Done v) ->
-        ctr.c_hits <- ctr.c_hits + 1;
-        Mutex.unlock t.lock;
+    match role with
+    | `Hit v ->
         bump_trace true;
         v
-    | Some Pending ->
-        ctr.c_hits <- ctr.c_hits + 1;
-        let v = await () in
-        bump_trace true;
-        v
-    | None ->
-        ctr.c_misses <- ctr.c_misses + 1;
-        let v = compute_slot () in
+    | `Compute ->
+        let v = compute_published () in
         bump_trace false;
         v
+    | `Wait -> (
+        bump_trace true;
+        let outcome =
+          locked (fun () ->
+              let rec await () =
+                match Hashtbl.find_opt tbl key with
+                | Some (Done v) -> `Done v
+                | Some Pending ->
+                    Condition.wait t.done_cond t.lock;
+                    await ()
+                | None ->
+                    (* the computing worker died: take the compute over
+                       (still counted as the hit decided at first look) *)
+                    Hashtbl.replace tbl key Pending;
+                    `Take_over
+              in
+              await ())
+        in
+        match outcome with `Done v -> v | `Take_over -> compute_published ())
   end
 
 let point_args (options : Flow.options) =
@@ -193,6 +246,11 @@ let point_args (options : Flow.options) =
     ("allocator", Flow.allocator_to_string options.allocator);
     ("encoding", Hls_ctrl.Encoding.style_to_string options.encoding);
   ]
+
+let canonical_options (options : Flow.options) =
+  if Flow.scheduler_ignores_limits options.scheduler then
+    { options with Flow.limits = Limits.Unlimited }
+  else options
 
 (* The cheap front of the staged flow: frontend, midend and scheduling
    through the memo layers. Shared verbatim between [eval_result] and
@@ -211,11 +269,7 @@ let eval_stages t (options : Flow.options) =
         Flow.midend ~opt_level:options.opt_level
           ~if_conversion:options.if_conversion c)
   in
-  let canonical_limits =
-    if Flow.scheduler_ignores_limits options.scheduler then Limits.Unlimited
-    else options.limits
-  in
-  let skey = (mkey, options.scheduler, canonical_limits) in
+  let skey = (mkey, options.scheduler, (canonical_options options).Flow.limits) in
   let sched =
     memo t "schedule" t.n_sched t.scheds skey (fun () -> Flow.schedule options o)
   in
@@ -226,37 +280,111 @@ let eval_cheap t (options : Flow.options) =
       let _, o, sched = eval_stages t options in
       (o, sched))
 
+(* One full point through the staged in-memory layers (everything the
+   engine did before the persistent layer existed). *)
+let eval_staged t (options : Flow.options) =
+  let mkey, o, sched = eval_stages t options in
+  let bkey =
+    ( mkey,
+      Cfg_sched.digest sched,
+      options.allocator,
+      options.share_variables,
+      options.encoding )
+  in
+  match
+    memo t "backend" t.n_back t.backs bkey (fun () ->
+        Flow.complete_result options o ~sched)
+  with
+  | Error ds ->
+      (* a structural netlist failure is as cacheable as a design:
+         every point probing this backend key reports the same
+         diagnostics *)
+      Error ds
+  | Ok d ->
+      (* lint the rewrapped design, outside the memo: a backend cache
+         hit is verified under the point's own options exactly like a
+         fresh run *)
+      let d = { d with Flow.options } in
+      if t.config.verify then
+        Hls_obs.Trace.with_span "lint" (fun () ->
+            match Hls_analysis.Diagnostic.errors (Flow.lint d) with
+            | [] -> Ok d
+            | es -> Error es)
+      else Ok d
+
+(* ---- the persistent point layer ---- *)
+
+(* What one disk entry holds: the evaluated point's result (design or
+   diagnostics) plus the engine's dse/* counter totals at store time —
+   observability breadcrumbs for cache forensics, never re-imported. *)
+type disk_entry = {
+  de_result : presult;
+  de_counters : (string * int) list;
+  de_stored_at : float;
+}
+
+let point_key t (options : Flow.options) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( Lazy.force binary_digest,
+            t.source_key,
+            t.config.verify,
+            canonical_options options )
+          []))
+
+let design_digest (d : Flow.design) = Digest.to_hex (Digest.string (Marshal.to_string d []))
+
+let dse_counters () =
+  List.filter
+    (fun (name, _) -> String.length name >= 4 && String.sub name 0 4 = "dse/")
+    (Hls_obs.Trace.counters ())
+
+let disk_probe t key compute =
+  match t.config.cache_dir with
+  | None -> compute ()
+  | Some dir -> (
+      let compute_and_store () =
+        Hls_obs.Trace.incr "serve/disk_misses";
+        let r = compute () in
+        ignore
+          (Hls_util.Disk_cache.store ~dir ~key
+             (Marshal.to_string
+                {
+                  de_result = r;
+                  de_counters = dse_counters ();
+                  de_stored_at = Unix.gettimeofday ();
+                }
+                []));
+        r
+      in
+      match Hls_util.Disk_cache.load ~dir ~key with
+      | Some payload -> (
+          (* integrity is already digest-checked by Disk_cache (and the
+             binary digest in the key fences off images from other
+             builds); decode defensively anyway so a surprise still
+             degrades to a miss rather than killing a server *)
+          match (Marshal.from_string payload 0 : disk_entry) with
+          | entry ->
+              Hls_obs.Trace.incr "serve/disk_hits";
+              entry.de_result
+          | exception _ -> compute_and_store ())
+      | None -> compute_and_store ())
+
 let eval_result t (options : Flow.options) =
   Hls_obs.Trace.with_span "dse/point" ~args:(point_args options) (fun () ->
       Hls_obs.Trace.incr "dse/points";
-      let mkey, o, sched = eval_stages t options in
-      let bkey =
-        ( mkey,
-          Cfg_sched.digest sched,
-          options.allocator,
-          options.share_variables,
-          options.encoding )
-      in
-      match
-        memo t "backend" t.n_back t.backs bkey (fun () ->
-            Flow.complete_result options o ~sched)
-      with
-      | Error ds ->
-          (* a structural netlist failure is as cacheable as a design:
-             every point probing this backend key reports the same
-             diagnostics *)
-          Error ds
-      | Ok d ->
-          (* lint the rewrapped design, outside the memo: a backend cache
-             hit is verified under the point's own options exactly like a
-             fresh run *)
-          let d = { d with Flow.options } in
-          if t.config.verify then
-            Hls_obs.Trace.with_span "lint" (fun () ->
-                match Hls_analysis.Diagnostic.errors (Flow.lint d) with
-                | [] -> Ok d
-                | es -> Error es)
-          else Ok d)
+      if t.config.cache_dir = None || not t.config.memoize then eval_staged t options
+      else
+        let key = point_key t options in
+        let r =
+          memo t "persist" t.n_persist t.persist key (fun () ->
+              disk_probe t key (fun () -> eval_staged t options))
+        in
+        (* a persist hit may carry another point's options (same key =
+           same canonicalized options, but e.g. a different ignored
+           limits field): stamp the request's own options back on *)
+        match r with Ok d -> Ok { d with Flow.options } | Error ds -> Error ds)
 
 let eval t options =
   match eval_result t options with Ok d -> d | Error ds -> raise (Flow.Lint_failed ds)

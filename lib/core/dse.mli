@@ -39,10 +39,23 @@ type config = {
   jobs : int;  (** worker domains for {!run} ([<= 1] stays on the calling domain) *)
   verify : bool;  (** run the full design lint on every evaluated point *)
   memoize : bool;  (** [false] disables every cache layer (the serial baseline) *)
+  cache_dir : string option;
+      (** persistent design cache directory. When set (and [memoize]),
+          every {!eval_result} runs through an additional {e persist}
+          layer above the staged tables: an in-memory single-flight
+          table over whole points, backed by an on-disk
+          content-addressed store ({!Hls_util.Disk_cache}). Keys mirror
+          the layered memo keys — digest of (running binary, source,
+          [verify], options with limits canonicalized for
+          limit-ignoring schedulers) — so a fresh process (a daemon
+          restart) answers a repeated request from disk without running
+          any pipeline stage, bit-identically. Corrupt or truncated
+          entries read as a miss. Probes bump [dse/persist.hits/misses]
+          (memory) and [serve/disk_hits]/[serve/disk_misses] (disk). *)
 }
 
 val default_config : config
-(** [{ jobs = 1; verify = false; memoize = true }]. *)
+(** [{ jobs = 1; verify = false; memoize = true; cache_dir = None }]. *)
 
 val create : ?config:config -> string -> t
 (** Engine over BSL source text (default config {!default_config}). *)
@@ -100,7 +113,14 @@ val stats : t -> stats
     count. *)
 
 val clear : t -> unit
-(** Drop all cached stage results and zero the counters. Must not be
-    called while a {!run} is in flight. *)
+(** Drop all cached stage results (including the in-memory persist
+    table — the disk store is untouched) and zero the counters. Must
+    not be called while a {!run} is in flight. *)
+
+val design_digest : Flow.design -> string
+(** Hex digest of the design's marshalled image. Two designs with equal
+    digests are bit-identical values; a disk-cache hit reproduces the
+    digest of the design originally stored. What the serve protocol
+    reports as [design_hash]. *)
 
 val pp_stats : Format.formatter -> stats -> unit

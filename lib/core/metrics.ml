@@ -39,6 +39,12 @@ let counter_event ~ts (name, value) =
 let counters_json () =
   J.Obj (List.map (fun (k, v) -> (k, J.Num (float_of_int v))) (T.counters ()))
 
+let counters_with_prefix prefix =
+  List.filter (fun (k, _) -> String.starts_with ~prefix k) (T.counters ())
+
+let counters_json_with_prefix prefix =
+  J.Obj (List.map (fun (k, v) -> (k, J.Num (float_of_int v))) (counters_with_prefix prefix))
+
 let chrome_trace () =
   let spans = T.spans () in
   let end_ts =

@@ -14,6 +14,13 @@ val chrome_trace : unit -> Hls_util.Json.t
 val counters_json : unit -> Hls_util.Json.t
 (** All counters as one object, keys sorted. *)
 
+val counters_with_prefix : string -> (string * int) list
+(** Counters whose name starts with the prefix (e.g. ["serve/"],
+    ["dse/"]), keys sorted — what a serve response embeds. *)
+
+val counters_json_with_prefix : string -> Hls_util.Json.t
+(** {!counters_with_prefix} as one JSON object. *)
+
 val render : unit -> string
 (** Text report: the {!Timing} stage breakdown, the counters, and the
     span-ring occupancy. *)

@@ -1,0 +1,13 @@
+(* Exception-safe mutual exclusion. A critical section written as
+
+     Mutex.lock m; ...; Mutex.unlock m
+
+   leaves [m] held forever if the body raises — harmless in a dying
+   one-shot process, a deadlock in a long-lived server. Every guarded
+   section in the toolkit goes through [with_lock] instead, which
+   releases on all exits (normal return, exceptions, and asynchronous
+   exceptions via [Fun.protect]). *)
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f

@@ -1,0 +1,9 @@
+(** Exception-safe mutual exclusion, used by every mutex-guarded
+    critical section in the toolkit. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** [with_lock m f] runs [f ()] with [m] held and releases [m] on every
+    exit path — normal return or raise — so an exception inside a
+    critical section can never wedge the next acquirer. Not reentrant:
+    nesting [with_lock] on the same mutex deadlocks, like [Mutex.lock]
+    itself. *)

@@ -15,7 +15,12 @@
    The ring has fixed capacity and overwrites oldest-first; overwrites
    are counted so an export can say how much history it lost. Span
    nesting is tracked per domain (domain-local stacks), so spans from
-   concurrent Pool workers never corrupt each other's parent links. *)
+   concurrent Pool workers never corrupt each other's parent links.
+
+   Every critical section goes through Sync.with_lock: the sink is
+   shared by long-lived servers, where a raise while holding the lock
+   (a failed allocation, an assert in a snapshot) must not wedge every
+   future counter bump. *)
 
 type span = {
   sp_name : string;
@@ -27,6 +32,7 @@ type span = {
 }
 
 let lock = Mutex.create ()
+let locked f = Sync.with_lock lock f
 
 (* ---- always-on stage duration accumulators (the Timing view) ---- *)
 
@@ -41,59 +47,50 @@ let record_duration_locked stage seconds =
       duration_order := stage :: !duration_order
 
 let record_duration stage seconds =
-  Mutex.lock lock;
-  record_duration_locked stage seconds;
-  Mutex.unlock lock
+  locked (fun () -> record_duration_locked stage seconds)
 
 let reset_durations () =
-  Mutex.lock lock;
-  Hashtbl.reset durations;
-  duration_order := [];
-  Mutex.unlock lock
+  locked (fun () ->
+      Hashtbl.reset durations;
+      duration_order := [])
 
 let durations_snapshot () =
-  Mutex.lock lock;
-  let entries =
-    List.rev_map
-      (fun stage ->
-        let seconds, calls = Hashtbl.find durations stage in
-        (stage, seconds, calls))
-      !duration_order
-  in
-  Mutex.unlock lock;
-  entries
+  locked (fun () ->
+      List.rev_map
+        (fun stage ->
+          let seconds, calls = Hashtbl.find durations stage in
+          (stage, seconds, calls))
+        !duration_order)
 
 (* ---- counters ---- *)
 
 let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
 
 let add name v =
-  Mutex.lock lock;
-  (match Hashtbl.find_opt counters_tbl name with
-  | Some c -> Hashtbl.replace counters_tbl name (c + v)
-  | None -> Hashtbl.add counters_tbl name v);
-  Mutex.unlock lock
+  locked (fun () ->
+      match Hashtbl.find_opt counters_tbl name with
+      | Some c -> Hashtbl.replace counters_tbl name (c + v)
+      | None -> Hashtbl.add counters_tbl name v)
 
 let incr name = add name 1
 
 let record_max name v =
-  Mutex.lock lock;
-  (match Hashtbl.find_opt counters_tbl name with
-  | Some c -> if v > c then Hashtbl.replace counters_tbl name v
-  | None -> Hashtbl.add counters_tbl name v);
-  Mutex.unlock lock
+  locked (fun () ->
+      match Hashtbl.find_opt counters_tbl name with
+      | Some c -> if v > c then Hashtbl.replace counters_tbl name v
+      | None -> Hashtbl.add counters_tbl name v)
 
 let counter name =
-  Mutex.lock lock;
-  let v = Option.value (Hashtbl.find_opt counters_tbl name) ~default:0 in
-  Mutex.unlock lock;
-  v
+  locked (fun () -> Option.value (Hashtbl.find_opt counters_tbl name) ~default:0)
 
 let counters () =
-  Mutex.lock lock;
-  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters_tbl [] in
-  Mutex.unlock lock;
+  let l = locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters_tbl []) in
   List.sort compare l
+
+(* ---- ids ---- *)
+
+let next_id = Atomic.make 1
+let fresh_id () = Atomic.fetch_and_add next_id 1
 
 (* ---- span ring ---- *)
 
@@ -104,53 +101,36 @@ let ring_next = ref 0 (* total spans ever pushed; write slot is [!ring_next mod 
 let epoch = ref (Unix.gettimeofday ())
 
 let enable ?(capacity = default_capacity) () =
-  Mutex.lock lock;
-  if capacity < 1 then begin
-    Mutex.unlock lock;
-    invalid_arg "Trace.enable: capacity must be positive"
-  end;
-  if Array.length !ring <> capacity then ring := Array.make capacity None;
-  enabled_flag := true;
-  Mutex.unlock lock
+  locked (fun () ->
+      if capacity < 1 then invalid_arg "Trace.enable: capacity must be positive";
+      if Array.length !ring <> capacity then ring := Array.make capacity None;
+      enabled_flag := true)
 
-let disable () =
-  Mutex.lock lock;
-  enabled_flag := false;
-  Mutex.unlock lock
-
+let disable () = locked (fun () -> enabled_flag := false)
 let enabled () = !enabled_flag
 
 let reset () =
-  Mutex.lock lock;
-  Hashtbl.reset durations;
-  duration_order := [];
-  Hashtbl.reset counters_tbl;
-  Array.fill !ring 0 (Array.length !ring) None;
-  ring_next := 0;
-  epoch := Unix.gettimeofday ();
-  Mutex.unlock lock
+  locked (fun () ->
+      Hashtbl.reset durations;
+      duration_order := [];
+      Hashtbl.reset counters_tbl;
+      Array.fill !ring 0 (Array.length !ring) None;
+      ring_next := 0;
+      epoch := Unix.gettimeofday ())
 
 let trace_epoch () = !epoch
 
-let dropped () =
-  Mutex.lock lock;
-  let d = max 0 (!ring_next - Array.length !ring) in
-  Mutex.unlock lock;
-  d
+let dropped () = locked (fun () -> max 0 (!ring_next - Array.length !ring))
 
 let spans () =
-  Mutex.lock lock;
-  let cap = Array.length !ring in
-  let n = min !ring_next cap in
-  let first = if !ring_next <= cap then 0 else !ring_next mod cap in
-  let out =
-    List.init n (fun i ->
-        match !ring.((first + i) mod cap) with
-        | Some s -> s
-        | None -> assert false)
-  in
-  Mutex.unlock lock;
-  out
+  locked (fun () ->
+      let cap = Array.length !ring in
+      let n = min !ring_next cap in
+      let first = if !ring_next <= cap then 0 else !ring_next mod cap in
+      List.init n (fun i ->
+          match !ring.((first + i) mod cap) with
+          | Some s -> s
+          | None -> assert false))
 
 (* ---- span capture ---- *)
 
@@ -169,22 +149,21 @@ let with_span ?(args = []) name f =
     ~finally:(fun () ->
       let t1 = Unix.gettimeofday () in
       Domain.DLS.set span_stack outer;
-      Mutex.lock lock;
-      record_duration_locked name (t1 -. t0);
-      if !enabled_flag then begin
-        let s =
-          {
-            sp_name = name;
-            sp_args = args;
-            sp_parent = parent;
-            sp_domain = (Domain.self () :> int);
-            sp_start = t0 -. !epoch;
-            sp_dur = t1 -. t0;
-          }
-        in
-        let cap = Array.length !ring in
-        !ring.(!ring_next mod cap) <- Some s;
-        Stdlib.incr ring_next
-      end;
-      Mutex.unlock lock)
+      locked (fun () ->
+          record_duration_locked name (t1 -. t0);
+          if !enabled_flag then begin
+            let s =
+              {
+                sp_name = name;
+                sp_args = args;
+                sp_parent = parent;
+                sp_domain = (Domain.self () :> int);
+                sp_start = t0 -. !epoch;
+                sp_dur = t1 -. t0;
+              }
+            in
+            let cap = Array.length !ring in
+            !ring.(!ring_next mod cap) <- Some s;
+            Stdlib.incr ring_next
+          end))
     f

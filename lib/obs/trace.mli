@@ -74,6 +74,12 @@ val counter : string -> int
 val counters : unit -> (string * int) list
 (** All counters, sorted by name. *)
 
+(** {2 Ids} *)
+
+val fresh_id : unit -> int
+(** Process-unique monotonically increasing id (atomic, never reset) —
+    what the serve daemon stamps each request's trace span with. *)
+
 (** {2 Durations (the Timing view)} *)
 
 val record_duration : string -> float -> unit

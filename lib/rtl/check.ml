@@ -52,7 +52,7 @@ let diagnostics (dp : Datapath.t) =
             (error Rtl ~code:"RTL009" (State a.Datapath.a_state)
                "activation references missing unit %d" a.Datapath.a_fu)
       | Some f ->
-          if not (f.Datapath.comp.Component.executes a.Datapath.a_op) then
+          if not (Component.executes f.Datapath.comp a.Datapath.a_op) then
             add
               (error Rtl ~code:"RTL003" (Fu f.Datapath.fuid) "unit %d (%s) cannot execute %s"
                  f.Datapath.fuid f.Datapath.comp.Component.cname

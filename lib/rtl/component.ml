@@ -1,9 +1,14 @@
 open Hls_cdfg
 
+(* Operation coverage is plain data (not a predicate closure) so that
+   components — and everything containing them, like a finished design —
+   can be marshalled into the persistent design cache. *)
+type coverage = Add_sub | Full_alu | Mul_only | Div_mod | Shifts
+
 type t = {
   cname : string;
   cls : Op.fu_class;
-  executes : Op.t -> bool;
+  covers : coverage;
   area_base : int;
   area_per_bit : int;
   delay_ns : float;
@@ -18,12 +23,20 @@ let add_sub_ops (op : Op.t) =
 let alu_ops (op : Op.t) =
   add_sub_ops op || match op with Op.And | Op.Or | Op.Xor | Op.Not -> true | _ -> false
 
+let executes c (op : Op.t) =
+  match c.covers with
+  | Add_sub -> add_sub_ops op
+  | Full_alu -> alu_ops op
+  | Mul_only -> op = Op.Mul
+  | Div_mod -> ( match op with Op.Div | Op.Mod -> true | _ -> false)
+  | Shifts -> ( match op with Op.Shl | Op.Shr -> true | _ -> false)
+
 let library =
   [
     {
       cname = "add_sub";
       cls = Op.C_alu;
-      executes = add_sub_ops;
+      covers = Add_sub;
       area_base = 20;
       area_per_bit = 10;
       delay_ns = 18.0;
@@ -31,7 +44,7 @@ let library =
     {
       cname = "alu";
       cls = Op.C_alu;
-      executes = alu_ops;
+      covers = Full_alu;
       area_base = 40;
       area_per_bit = 14;
       delay_ns = 20.0;
@@ -39,7 +52,7 @@ let library =
     {
       cname = "mult";
       cls = Op.C_mul;
-      executes = (fun op -> op = Op.Mul);
+      covers = Mul_only;
       area_base = 100;
       area_per_bit = 75;
       delay_ns = 60.0;
@@ -47,7 +60,7 @@ let library =
     {
       cname = "divider";
       cls = Op.C_div;
-      executes = (fun op -> match op with Op.Div | Op.Mod -> true | _ -> false);
+      covers = Div_mod;
       area_base = 150;
       area_per_bit = 95;
       delay_ns = 90.0;
@@ -55,7 +68,7 @@ let library =
     {
       cname = "barrel_shifter";
       cls = Op.C_shift;
-      executes = (fun op -> match op with Op.Shl | Op.Shr -> true | _ -> false);
+      covers = Shifts;
       area_base = 30;
       area_per_bit = 18;
       delay_ns = 25.0;
@@ -69,7 +82,7 @@ let area c ~width = c.area_base + (c.area_per_bit * width)
 let bind ~cls ~ops =
   let candidates =
     List.filter
-      (fun c -> c.cls = cls && List.for_all (fun op -> c.executes op) ops)
+      (fun c -> c.cls = cls && List.for_all (fun op -> executes c op) ops)
       library
   in
   match

@@ -9,14 +9,22 @@
 
 open Hls_cdfg
 
+(** Which operations a component can execute. Plain data rather than a
+    predicate closure so a component — and any design containing one —
+    can be marshalled into the persistent design cache. *)
+type coverage = Add_sub | Full_alu | Mul_only | Div_mod | Shifts
+
 type t = {
   cname : string;
   cls : Op.fu_class;  (** functional-unit class the component serves *)
-  executes : Op.t -> bool;  (** operation coverage *)
+  covers : coverage;  (** operation coverage *)
   area_base : int;
   area_per_bit : int;
   delay_ns : float;
 }
+
+val executes : t -> Op.t -> bool
+(** Whether the component's {!coverage} includes the operation. *)
 
 val library : t list
 (** The built-in component catalogue: add/sub unit, full ALU,

@@ -111,7 +111,7 @@ let build cs ~fu ~regs ~ports =
       | _ when Dfg.occupies_step g nid ->
           let produced = Hls_sched.Schedule.step_of sched nid in
           if step = produced then
-            Wire.W_fu_out (fu.Fu_alloc.of_op (bid, nid), node.Dfg.ty)
+            Wire.W_fu_out (Fu_alloc.of_op fu (bid, nid), node.Dfg.ty)
           else (
             match Hashtbl.find_opt storage (bid, nid) with
             | Some (Lifetime.In_variable v) -> Wire.W_reg (Reg_alloc.register_of_var regs v)
@@ -152,7 +152,7 @@ let build cs ~fu ~regs ~ports =
     (fun (r : Fu_alloc.op_ref) ->
       let g = Cfg.dfg cfg r.Fu_alloc.bid in
       let node = Dfg.node g r.Fu_alloc.nid in
-      let unit_id = fu.Fu_alloc.of_op (r.Fu_alloc.bid, r.Fu_alloc.nid) in
+      let unit_id = Fu_alloc.of_op fu (r.Fu_alloc.bid, r.Fu_alloc.nid) in
       let state = Hls_ctrl.Fsm.state_of fsm r.Fu_alloc.bid r.Fu_alloc.step in
       let args =
         List.map (fun a -> wire_for r.Fu_alloc.bid a ~step:r.Fu_alloc.step) node.Dfg.args

@@ -1,0 +1,59 @@
+(* Bounded multi-producer/multi-consumer queue — the backpressure
+   valve between the daemon's acceptor and its handler domains.
+
+   [offer] never blocks: past the capacity (or after [close]) it
+   refuses, and the acceptor turns that refusal into a typed `busy`
+   response instead of letting latency pile up invisibly. [take]
+   blocks until an item or until the queue is closed {e and} drained,
+   so graceful shutdown is simply [close]: producers are cut off,
+   consumers finish everything already accepted, then exit.
+
+   All critical sections run under Sync.with_lock — an exception while
+   holding the lock must not deadlock the daemon. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Bqueue.create: negative capacity";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let offer t x =
+  Hls_obs.Sync.with_lock t.lock (fun () ->
+      if t.closed || Queue.length t.items >= t.capacity then false
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let take t =
+  Hls_obs.Sync.with_lock t.lock (fun () ->
+      let rec await () =
+        if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          await ()
+        end
+      in
+      await ())
+
+let close t =
+  Hls_obs.Sync.with_lock t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = Hls_obs.Sync.with_lock t.lock (fun () -> Queue.length t.items)
+let is_closed t = Hls_obs.Sync.with_lock t.lock (fun () -> t.closed)

@@ -1,0 +1,28 @@
+(** Bounded multi-producer/multi-consumer queue with non-blocking
+    admission — the backpressure valve of the serve daemon. [offer]
+    refuses rather than blocks when full, which the acceptor turns into
+    a typed [busy] response; [take] blocks until an item arrives or the
+    queue is closed and drained, which makes [close] a graceful
+    shutdown: no new work admitted, everything already accepted still
+    served. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] on negative capacity. Capacity 0 refuses
+    every offer — useful for tests of the rejection path. *)
+
+val offer : 'a t -> 'a -> bool
+(** Non-blocking admission: [false] when the queue holds [capacity]
+    items or has been closed. *)
+
+val take : 'a t -> 'a option
+(** Block until an item is available ([Some]) or the queue is closed
+    and fully drained ([None]). *)
+
+val close : 'a t -> unit
+(** Refuse all future offers and wake every blocked taker; already
+    queued items are still handed out. Idempotent. *)
+
+val length : 'a t -> int
+val is_closed : 'a t -> bool

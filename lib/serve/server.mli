@@ -1,0 +1,76 @@
+(** The [hlsc serve] daemon: a long-running process answering synth /
+    dse / lint / ping / stats / shutdown requests framed as JSON
+    (see {!Proto}) over a Unix socket or a plain fd pair.
+
+    A server keeps one {!Hls_core.Dse} engine per distinct source text,
+    so repeated requests share the staged in-memory cache — and, with
+    [cache_dir] set, the persistent disk layer beneath it: a freshly
+    started daemon answers a previously computed point from disk,
+    bit-identically, without running any pipeline stage.
+
+    Concurrency: a fixed crew of [workers] handler domains drains a
+    bounded queue of accepted connections. When the queue holds
+    [max_queue] connections the acceptor refuses with a typed [busy]
+    response instead of queueing latency invisibly. Shutdown drains:
+    accepted connections are served to completion, then the handlers
+    join.
+
+    Counters (via {!Hls_obs.Trace}): [serve/requests],
+    [serve/rejected], [serve/inflight_peak], and — from the engines'
+    disk layer — [serve/disk_hits] / [serve/disk_misses]. Every request
+    runs under a [serve/request] span and is answered with its span
+    id. *)
+
+type config = {
+  workers : int;  (** handler domains draining the connection queue *)
+  max_queue : int;  (** accepted-but-unhandled connection bound *)
+  jobs : int;  (** per-request Dse worker jobs *)
+  verify : bool;  (** full design lint on every evaluated point *)
+  cache_dir : string option;  (** persistent design cache location *)
+}
+
+val default_config : config
+(** [{ workers = 2; max_queue = 16; jobs = 1; verify = false;
+    cache_dir = None }]. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Raises [Invalid_argument] on [workers < 1] or negative
+    [max_queue]. *)
+
+val handle : t -> Hls_util.Json.t -> Hls_util.Json.t
+(** The synchronous request core: decode, dispatch, encode. Every
+    failure mode — malformed request, unknown workload, frontend
+    errors, a raising pipeline — returns a structured [error]
+    response; this function does not raise on client input. Safe to
+    call from concurrent domains. *)
+
+val handle_text : t -> string -> Hls_util.Json.t
+(** {!handle} after JSON parsing; parse failures become [error]
+    responses too. *)
+
+val serve_unix : t -> path:string -> unit
+(** Bind [path] (unlinking any stale socket), accept until a stop is
+    requested, then drain and join. Blocks the calling domain. *)
+
+val serve_frames : t -> input:Unix.file_descr -> output:Unix.file_descr -> unit
+(** Single-client framed mode ([hlsc serve --stdio]): serve requests
+    inline until a shutdown request, clean EOF, or torn frame. *)
+
+val request_stop : t -> unit
+(** Raise the stop flag; {!serve_unix} observes it within its accept
+    timeout (and a [shutdown] request raises it from inside). *)
+
+val stop_requested : t -> bool
+val engine_count : t -> int
+
+(** Minimal blocking client over the same framing, for tests and the
+    CLI's own smoke checks. *)
+module Client : sig
+  type conn
+
+  val connect : string -> conn
+  val request : conn -> Hls_util.Json.t -> (Hls_util.Json.t, string) result
+  val close : conn -> unit
+end

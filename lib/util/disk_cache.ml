@@ -1,0 +1,92 @@
+(* Persistent content-addressed byte store — the disk layer under the
+   DSE engine's in-memory tables (and anything else that wants cheap
+   crash-safe memoization across process restarts).
+
+   Each entry is one file named by the MD5 of its key:
+
+     <dir>/<hex key digest>.hc
+
+   laid out as  magic  |  16-byte MD5 of payload  |  payload.
+
+   The cache is advisory storage, never a source of truth, so every
+   failure mode reads as a miss and every write is best-effort:
+   - a missing/unreadable file, a bad magic, a short header, or a
+     payload whose digest does not match (truncation, bit rot, a
+     concurrent writer's torn write) all return [None] from [load];
+   - [store] writes to a unique temp file and renames it into place —
+     readers never observe a half-written entry — and reports [false]
+     instead of raising if the filesystem refuses.
+
+   Integrity-before-decode matters because payloads are typically
+   [Marshal] images: unmarshalling corrupt bytes is undefined behavior,
+   so [load] only hands back byte-exact payloads. *)
+
+let magic = "HLSC1\n"
+let header_len = String.length magic + 16
+
+let entry_path ~dir ~key =
+  Filename.concat dir (Digest.to_hex (Digest.string key) ^ ".hc")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ()
+  end
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Some s
+          | exception (Sys_error _ | End_of_file) -> None)
+
+let load ~dir ~key =
+  match read_file (entry_path ~dir ~key) with
+  | None -> None
+  | Some raw ->
+      if
+        String.length raw >= header_len
+        && String.sub raw 0 (String.length magic) = magic
+      then begin
+        let digest = String.sub raw (String.length magic) 16 in
+        let payload = String.sub raw header_len (String.length raw - header_len) in
+        if Digest.string payload = digest then Some payload else None
+      end
+      else None
+
+let tmp_counter = Atomic.make 0
+
+let store ~dir ~key payload =
+  try
+    mkdir_p dir;
+    let final = entry_path ~dir ~key in
+    let tmp =
+      Filename.concat dir
+        (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ()) (Atomic.fetch_and_add tmp_counter 1))
+    in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc magic;
+       output_string oc (Digest.string payload);
+       output_string oc payload;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp final;
+    true
+  with Sys_error _ | Unix.Unix_error _ -> false
+
+let entries ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".hc")
+      |> List.sort compare

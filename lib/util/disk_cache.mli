@@ -1,0 +1,28 @@
+(** Persistent content-addressed byte store: one integrity-checked file
+    per key under a cache directory. This is the disk layer beneath the
+    DSE engine's in-memory memo tables — what lets a warm daemon
+    restart answer repeated requests without re-running the pipeline.
+
+    The store is {e advisory}: every failure reads as a miss, never an
+    exception. [load] returns the payload only when the entry's
+    embedded digest matches, so truncated or garbage files — including
+    torn concurrent writes — degrade to [None] rather than handing
+    corrupt bytes to [Marshal]. [store] is atomic (temp file + rename)
+    and returns [false] instead of raising when the filesystem
+    refuses. *)
+
+val store : dir:string -> key:string -> string -> bool
+(** [store ~dir ~key payload] creates [dir] as needed and atomically
+    writes the entry for [key]. [true] on success. *)
+
+val load : dir:string -> key:string -> string option
+(** The payload stored under [key], or [None] on any miss: absent or
+    unreadable entry, bad magic, short header, or digest mismatch. *)
+
+val entry_path : dir:string -> key:string -> string
+(** Path the entry for [key] lives at ([<dir>/<md5(key)>.hc]) —
+    exposed so tests can corrupt or truncate entries deliberately. *)
+
+val entries : dir:string -> string list
+(** Basenames of all cache entries in [dir], sorted; [[]] if the
+    directory is missing. *)

@@ -237,3 +237,13 @@ let to_float = function Num f -> Some f | _ -> None
 let to_bool = function Bool b -> Some b | _ -> None
 let to_list = function Arr xs -> Some xs | _ -> None
 let to_str = function Str s -> Some s | _ -> None
+
+let of_int n = Num (float_of_int n)
+
+let to_int = function
+  | Num f when Float.is_integer f && Float.abs f <= 1e15 -> Some (int_of_float f)
+  | _ -> None
+
+let str_member key v = Option.bind (member key v) to_str
+let int_member key v = Option.bind (member key v) to_int
+let bool_member key v = Option.bind (member key v) to_bool

@@ -26,3 +26,15 @@ val to_float : t -> float option
 val to_bool : t -> bool option
 val to_list : t -> t list option
 val to_str : t -> string option
+
+val of_int : int -> t
+(** [Num] of the exact integer value. *)
+
+val to_int : t -> int option
+(** [Some n] only for integral numbers within exact-float range. *)
+
+val str_member : string -> t -> string option
+val int_member : string -> t -> int option
+val bool_member : string -> t -> bool option
+(** Typed field lookups — [member] composed with the coercions; used by
+    the serve protocol decoder. *)

@@ -190,10 +190,28 @@ let map ?pool ?(jobs = 1) f xs =
             if again then drive ()
       in
       drive ();
-      Array.to_list results
-      |> List.map (function
-           | Some (Ok v) -> v
-           | Some (Error e) -> raise e
-           | None -> failwith "Pool.map: missing result")
+      (* collection in input order: the first raising item's original
+         exception wins, exactly as the serial path would raise it.
+         Every other chunk has already run to completion (the [remaining]
+         barrier), so one poison item never strands sibling chunks or
+         leaks queued work into later maps. A [None] slot is a pool
+         invariant violation (a chunk signalled completion without
+         publishing), not a user error — name the item and the chunking
+         so the report is actionable. *)
+      Array.to_list
+        (Array.mapi
+           (fun i r ->
+             match r with
+             | Some (Ok v) -> v
+             | Some (Error e) -> raise e
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf
+                      "Pool.map: internal invariant broken — no result for item \
+                       %d/%d (chunk %d of %d) despite completion barrier"
+                      i n
+                      ((((i + 1) * chunks) - 1) / n)
+                      chunks))
+           results)
     end
   end

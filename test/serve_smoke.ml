@@ -1,0 +1,117 @@
+(* End-to-end smoke of `hlsc serve` (the @serve-smoke alias).
+
+   Drives the real binary (argv.(1)) as a daemon subprocess over a Unix
+   socket, twice, against one persistent cache directory:
+
+     phase 1 — start, synth + dse request (computes, stores), shutdown;
+     phase 2 — restart, repeat the same requests against the cold
+               process, assert serve/disk_hits >= 1 in its stats and a
+               bit-identical design_hash, clean shutdown.
+
+   Both daemons must exit 0 — shutdown is a request, not a kill. *)
+
+module J = Hls_util.Json
+module Client = Hls_serve.Server.Client
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("serve_smoke: " ^ s); exit 1) fmt
+
+let scratch = Printf.sprintf "%s/hlsc_serve_smoke_%d" (Filename.get_temp_dir_name ()) (Unix.getpid ())
+let cache_dir = scratch ^ "/cache"
+
+let start_daemon hlsc n =
+  let socket = Printf.sprintf "%s/daemon%d.sock" scratch n in
+  let pid =
+    Unix.create_process hlsc
+      [| hlsc; "serve"; "--socket"; socket; "--cache-dir"; cache_dir; "--workers"; "2" |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let rec await tries =
+    if tries = 0 then die "daemon %d: socket %s never appeared" n socket;
+    if not (Sys.file_exists socket) then begin
+      (match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> ()
+      | _, status -> die "daemon %d died during startup (%s)" n (match status with
+          | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+          | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+          | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+      Unix.sleepf 0.05;
+      await (tries - 1)
+    end
+  in
+  await 200;
+  (pid, socket)
+
+let request conn req =
+  match Client.request conn req with
+  | Ok reply -> reply
+  | Error e -> die "request failed: %s" e
+
+let str_field name json =
+  match J.str_member name json with
+  | Some s -> s
+  | None -> die "missing %S in %s" name (J.to_string json)
+
+let expect_ok what reply =
+  if str_field "status" reply <> "ok" then die "%s: %s" what (J.to_string reply);
+  reply
+
+let design_hash reply =
+  match J.member "design" reply with
+  | Some d -> str_field "design_hash" d
+  | None -> die "no design in %s" (J.to_string reply)
+
+let synth_req = J.Obj [ ("cmd", J.Str "synth"); ("workload", J.Str "diffeq") ]
+
+let dse_req =
+  J.Obj
+    [
+      ("cmd", J.Str "dse");
+      ("workload", J.Str "diffeq");
+      ("points", J.Arr [ J.Obj [ ("fus", J.Num 1.0) ]; J.Obj [ ("fus", J.Num 3.0) ] ]);
+    ]
+
+let stats_field group name reply =
+  match J.member group reply with
+  | Some g -> Option.value ~default:0 (J.int_member name g)
+  | None -> 0
+
+let shutdown_and_reap conn pid n =
+  ignore (expect_ok "shutdown" (request conn (J.Obj [ ("cmd", J.Str "shutdown") ])));
+  Client.close conn;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED c -> die "daemon %d exited %d after shutdown" n c
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) -> die "daemon %d killed by signal %d" n s
+
+let () =
+  if Array.length Sys.argv < 2 then die "usage: serve_smoke HLSC_BINARY";
+  let hlsc = Sys.argv.(1) in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote scratch)));
+  Unix.mkdir scratch 0o755;
+
+  (* phase 1: cold cache — compute and persist *)
+  let pid1, sock1 = start_daemon hlsc 1 in
+  let c1 = Client.connect sock1 in
+  let hash1 = design_hash (expect_ok "phase 1 synth" (request c1 synth_req)) in
+  ignore (expect_ok "phase 1 dse" (request c1 dse_req));
+  let stats1 = expect_ok "phase 1 stats" (request c1 (J.Obj [ ("cmd", J.Str "stats") ])) in
+  let misses1 = stats_field "serve" "serve/disk_misses" stats1 in
+  if misses1 < 3 then die "phase 1: expected >= 3 disk misses, saw %d" misses1;
+  shutdown_and_reap c1 pid1 1;
+  if Hls_util.Disk_cache.entries ~dir:cache_dir = [] then die "phase 1 stored nothing";
+
+  (* phase 2: a cold process over the warm store must answer from disk *)
+  let pid2, sock2 = start_daemon hlsc 2 in
+  let c2 = Client.connect sock2 in
+  let hash2 = design_hash (expect_ok "phase 2 synth" (request c2 synth_req)) in
+  ignore (expect_ok "phase 2 dse" (request c2 dse_req));
+  let stats2 = expect_ok "phase 2 stats" (request c2 (J.Obj [ ("cmd", J.Str "stats") ])) in
+  let hits2 = stats_field "serve" "serve/disk_hits" stats2 in
+  if hits2 < 1 then die "phase 2: no disk hits after restart (stats: %s)" (J.to_string stats2);
+  if hash1 <> hash2 then die "restart changed the design: %s vs %s" hash1 hash2;
+  shutdown_and_reap c2 pid2 2;
+
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote scratch)));
+  Printf.printf
+    "serve smoke: restart served from disk (%d hits), design %s stable across daemons\n"
+    hits2 hash1

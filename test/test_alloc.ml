@@ -132,9 +132,9 @@ let test_fig7_clique_two_adders () =
   Alcotest.(check int) "two adders" 2 (Fu_alloc.n_units alloc);
   (* a2 and a3 share; a1 and b1 are split *)
   Alcotest.(check bool) "a2/a3 share" true
-    (alloc.Fu_alloc.of_op (0, a2) = alloc.Fu_alloc.of_op (0, a3));
+    (Fu_alloc.of_op alloc (0, a2) = Fu_alloc.of_op alloc (0, a3));
   Alcotest.(check bool) "a1/b1 split" true
-    (alloc.Fu_alloc.of_op (0, a1) <> alloc.Fu_alloc.of_op (0, b1))
+    (Fu_alloc.of_op alloc (0, a1) <> Fu_alloc.of_op alloc (0, b1))
 
 let test_fig6_greedy_cost_aware () =
   let cs, _ = fig67_design () in

@@ -109,7 +109,7 @@ let test_rtl003_inexecutable_op () =
     List.find_opt
       (fun (a : Datapath.activity) ->
         let f = Datapath.fu_of dp a.Datapath.a_fu in
-        not (f.Datapath.comp.Component.executes Op.Div))
+        not (Component.executes f.Datapath.comp Op.Div))
       dp.Datapath.activities
   with
   | Some a ->
