@@ -1,0 +1,181 @@
+(* Range-analysis benchmark: every workload is synthesized twice —
+   baseline and [narrow] (range-inferred register/FU/mux widths) — the
+   narrowed design is cosimulated against the behavioral reference, and
+   the per-workload area pair lands in BENCH_analysis.json together
+   with the range/* counters. --validate reparses an emitted file and
+   enforces the gates the narrowing design promises: every cosim is
+   bit-identical, a narrowed design is never larger than its baseline,
+   and at least two workloads see a strict area reduction. The
+   @analyze-smoke alias runs emit + validate. *)
+
+open Hls_core
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+type row = {
+  name : string;
+  base_area : int;
+  narrow_area : int;
+  cosim_ok : bool;
+  base_ms : float;
+  narrow_ms : float;
+}
+
+let run_bench ~runs ~out =
+  let open Hls_util.Json in
+  Hls_obs.Trace.reset ();
+  let rows =
+    List.map
+      (fun (name, src) ->
+        let base, t_base = timed (fun () -> Flow.synthesize src) in
+        let narrow, t_narrow =
+          timed (fun () ->
+              Flow.synthesize
+                ~options:{ Flow.default_options with Flow.narrow = true }
+                src)
+        in
+        let cosim_ok =
+          match Flow.verify ~runs narrow with
+          | Ok () -> true
+          | Error e ->
+              Printf.eprintf "%s: narrowed cosim diverged: %s\n" name e;
+              false
+        in
+        {
+          name;
+          base_area = base.Flow.estimate.Hls_rtl.Estimate.total_area;
+          narrow_area = narrow.Flow.estimate.Hls_rtl.Estimate.total_area;
+          cosim_ok;
+          base_ms = 1e3 *. t_base;
+          narrow_ms = 1e3 *. t_narrow;
+        })
+      Workloads.all
+  in
+  let all_cosim_ok = List.for_all (fun r -> r.cosim_ok) rows in
+  let never_larger = List.for_all (fun r -> r.narrow_area <= r.base_area) rows in
+  let reduced = List.length (List.filter (fun r -> r.narrow_area < r.base_area) rows) in
+  let row_json r =
+    Obj
+      [
+        ("name", Str r.name);
+        ("base_area", Num (float_of_int r.base_area));
+        ("narrow_area", Num (float_of_int r.narrow_area));
+        ("area_delta", Num (float_of_int (r.base_area - r.narrow_area)));
+        ("cosim_ok", Bool r.cosim_ok);
+        ("base_ms", Num r.base_ms);
+        ("narrow_ms", Num r.narrow_ms);
+      ]
+  in
+  let json =
+    Obj
+      [
+        ("benchmark", Str "range_narrowing");
+        ("cosim_runs", Num (float_of_int runs));
+        ("workloads", Arr (List.map row_json rows));
+        ("all_cosim_ok", Bool all_cosim_ok);
+        ("never_larger", Bool never_larger);
+        ("reduced_workloads", Num (float_of_int reduced));
+        (* range/* counters: analyses run, designs narrowed, aggressive
+           folds — alongside the usual kernel/cache totals *)
+        ("counters", Metrics.counters_json ());
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (to_string json);
+  close_out oc;
+  List.iter
+    (fun r ->
+      Printf.printf "  %-10s base %5d  narrow %5d  (-%d)%s\n" r.name r.base_area
+        r.narrow_area (r.base_area - r.narrow_area)
+        (if r.cosim_ok then "" else "  COSIM FAIL"))
+    rows;
+  Printf.printf "%s: %d/%d workloads reduced, all cosim ok: %b\n" out reduced
+    (List.length rows) all_cosim_ok;
+  if not (all_cosim_ok && never_larger) then exit 1
+
+let validate file =
+  let open Hls_util.Json in
+  let ic =
+    try open_in file
+    with Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match parse text with
+  | Error e ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file e;
+      exit 1
+  | Ok json ->
+      let fail msg =
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+      in
+      let num key =
+        match member key json with
+        | Some (Num v) -> v
+        | _ -> fail (Printf.sprintf "missing numeric field %S" key)
+      in
+      let bool_field key =
+        match member key json with
+        | Some (Bool b) -> b
+        | _ -> fail (Printf.sprintf "missing boolean field %S" key)
+      in
+      let rows =
+        match member "workloads" json with
+        | Some (Arr rows) -> rows
+        | _ -> fail "missing workloads array"
+      in
+      if rows = [] then fail "workloads array is empty";
+      List.iter
+        (fun row ->
+          match (member "name" row, member "base_area" row, member "narrow_area" row) with
+          | Some (Str name), Some (Num b), Some (Num nw) ->
+              if nw > b then
+                fail (Printf.sprintf "%s: narrowed area %.0f exceeds baseline %.0f" name nw b);
+              (match member "cosim_ok" row with
+              | Some (Bool true) -> ()
+              | _ -> fail (Printf.sprintf "%s: cosim_ok is not true" name))
+          | _ -> fail "workload row missing name/base_area/narrow_area")
+        rows;
+      if not (bool_field "all_cosim_ok") then fail "all_cosim_ok is false";
+      if not (bool_field "never_larger") then fail "never_larger is false";
+      (* the tentpole's headline gate: narrowing must actually pay off
+         somewhere, not merely do no harm *)
+      if num "reduced_workloads" < 2.0 then
+        fail
+          (Printf.sprintf "only %.0f workload(s) reduced (gate: 2)"
+             (num "reduced_workloads"));
+      (match member "counters" json with
+      | Some (Obj counters) ->
+          if
+            not
+              (List.exists
+                 (fun (k, _) -> String.length k > 6 && String.sub k 0 6 = "range/")
+                 counters)
+          then fail "counters object has no range/ entries"
+      | _ -> fail "missing counters object");
+      Printf.printf "%s: valid (%d workloads, %.0f reduced)\n" file (List.length rows)
+        (num "reduced_workloads")
+
+let () =
+  let runs = ref 3 and out = ref "BENCH_analysis.json" in
+  let validate_file = ref None in
+  let spec =
+    [
+      ("--runs", Arg.Set_int runs, "N  cosimulation runs per workload (default 3)");
+      ("--out", Arg.Set_string out, "FILE  output path (default BENCH_analysis.json)");
+      ( "--validate",
+        Arg.String (fun f -> validate_file := Some f),
+        "FILE  reparse an emitted result file and check its gates" );
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "bench_analysis";
+  match !validate_file with
+  | Some f -> validate f
+  | None -> run_bench ~runs:!runs ~out:!out

@@ -6,6 +6,7 @@
      dse      sweep resource limits / schedulers and print the trade-off
               (explore is kept as an alias)
      lint     run every IR-level checker and report structured diagnostics
+     analyze  dump the value-range/bitwidth inference per variable
      trace    synthesize under the event tracer and emit a Chrome trace
      examples list the built-in workloads
 
@@ -142,19 +143,27 @@ let encoding =
 let if_convert_flag =
   Arg.(value & flag & info [ "if-convert" ] ~doc:"Speculate small branch diamonds into muxes.")
 
-let make_options opt_level if_conversion scheduler fus allocator encoding =
+let narrow_flag =
+  Arg.(
+    value & flag
+    & info [ "narrow" ]
+        ~doc:
+          "Narrow registers, functional units and muxes to the widths the value-range \
+           analysis proves sufficient (area-only; the design stays bit-identical).")
+
+let make_options opt_level if_conversion scheduler fus allocator encoding narrow =
   let limits =
     if fus = 0 then Hls_sched.Limits.Serial
     else if fus < 0 then Hls_sched.Limits.Unlimited
     else Hls_sched.Limits.Total fus
   in
   { Flow.opt_level; if_conversion; scheduler; limits; allocator;
-    share_variables = true; encoding }
+    share_variables = true; encoding; narrow }
 
 let options_term =
   Term.(
     const make_options $ opt_level $ if_convert_flag $ scheduler $ fus $ allocator
-    $ encoding)
+    $ encoding $ narrow_flag)
 
 (* ---- shared tracing/metrics flags ---- *)
 
@@ -391,6 +400,121 @@ let lint_cmd =
     Term.(
       const run $ source_term $ lint_all_flag $ matrix_flag $ json_flag $ floor_arg
       $ rules_flag $ options_term)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let run source options json trace_out metrics =
+    with_source source (fun ~name ~src ->
+        handle_errors (fun () ->
+            start_tracing trace_out;
+            let c = Flow.frontend src in
+            let o =
+              Flow.midend ~opt_level:options.Flow.opt_level
+                ~if_conversion:options.Flow.if_conversion c
+            in
+            let ports = Flow.ports_of o.Flow.o_prog in
+            let facts = Hls_analysis.Range.analyze ~ports o.Flow.o_cfg in
+            let widths = Hls_analysis.Range.var_widths facts in
+            (* boundary range per variable: join of its value at every
+               reachable block entry *)
+            let module R = Hls_analysis.Range in
+            let joined : (string, R.aval) Hashtbl.t = Hashtbl.create 16 in
+            List.iter
+              (fun bid ->
+                match R.entry_env facts ~bid with
+                | None -> ()
+                | Some env ->
+                    List.iter
+                      (fun (v, a) ->
+                        match Hashtbl.find_opt joined v with
+                        | None -> Hashtbl.replace joined v a
+                        | Some b -> Hashtbl.replace joined v (R.join a b))
+                      env)
+              (Hls_cdfg.Cfg.block_ids o.Flow.o_cfg);
+            let dead = R.dead_edges facts in
+            let ds = Hls_analysis.Width_check.check ~facts ~ports o.Flow.o_cfg in
+            (if json then
+               let var_obj (v, declared, inferred) =
+                 let base =
+                   [
+                     ("name", Hls_util.Json.Str v);
+                     ("declared_bits", Hls_util.Json.of_int declared);
+                     ("inferred_bits", Hls_util.Json.of_int inferred);
+                   ]
+                 in
+                 let range =
+                   match Hashtbl.find_opt joined v with
+                   | Some a ->
+                       [
+                         ("lo", Hls_util.Json.of_int a.R.iv.Hls_util.Interval.lo);
+                         ("hi", Hls_util.Json.of_int a.R.iv.Hls_util.Interval.hi);
+                       ]
+                   | None -> []
+                 in
+                 Hls_util.Json.Obj (base @ range)
+               in
+               let edge_obj (src, dst, taken) =
+                 Hls_util.Json.Obj
+                   [
+                     ("from", Hls_util.Json.of_int src);
+                     ("to", Hls_util.Json.of_int dst);
+                     ("condition", Hls_util.Json.Bool taken);
+                   ]
+               in
+               print_string
+                 (Hls_util.Json.to_string
+                    (Hls_util.Json.Obj
+                       [
+                         ("name", Hls_util.Json.Str name);
+                         ("variables", Hls_util.Json.Arr (List.map var_obj widths));
+                         ("dead_edges", Hls_util.Json.Arr (List.map edge_obj dead));
+                         ( "diagnostics",
+                           Hls_util.Json.Arr
+                             (List.map
+                                (fun d ->
+                                  Hls_util.Json.Str
+                                    (Hls_analysis.Diagnostic.to_string d))
+                                ds) );
+                       ]))
+             else begin
+               Printf.printf "%s: inferred value ranges (opt %s)\n" name
+                 (Flow.opt_level_to_string options.Flow.opt_level);
+               Printf.printf "  %-12s %9s %9s  %s\n" "variable" "declared" "inferred"
+                 "boundary range";
+               List.iter
+                 (fun (v, declared, inferred) ->
+                   let range =
+                     match Hashtbl.find_opt joined v with
+                     | Some a -> Format.asprintf "%a" R.pp_aval a
+                     | None -> "-"
+                   in
+                   Printf.printf "  %-12s %9d %9d  %s\n" v declared inferred range)
+                 widths;
+               List.iter
+                 (fun (src, dst, taken) ->
+                   Printf.printf "  dead edge: b%d -> b%d (condition always %b)\n" src
+                     dst taken)
+                 dead;
+               if ds <> [] then begin
+                 print_endline "diagnostics:";
+                 List.iter
+                   (fun d ->
+                     Printf.printf "  %s\n" (Hls_analysis.Diagnostic.to_string d))
+                   ds
+               end
+             end);
+            finish_tracing trace_out metrics))
+  in
+  let info =
+    Cmd.info "analyze"
+      ~doc:
+        "Run the value-range and bitwidth inference over the optimized CDFG and report \
+         per-variable boundary ranges, declared vs inferred widths, dead branch edges \
+         and the RANGE/WIDTH diagnostics. $(b,--json) emits the same report as JSON."
+  in
+  Cmd.v info
+    Term.(const run $ source_term $ options_term $ json_flag $ trace_out_flag $ metrics_flag)
 
 (* ---- run ---- *)
 
@@ -707,6 +831,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            synth_cmd; dse_cmd; explore_cmd; lint_cmd; trace_cmd; run_cmd; serve_cmd;
-            examples_cmd;
+            synth_cmd; dse_cmd; explore_cmd; lint_cmd; analyze_cmd; trace_cmd; run_cmd;
+            serve_cmd; examples_cmd;
           ]))

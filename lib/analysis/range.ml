@@ -1,0 +1,699 @@
+open Hls_util
+open Hls_cdfg
+module I = Interval
+module StrMap = Map.Make (String)
+
+type aval = { width : int; iv : I.t; zeros : int; ones : int }
+
+let mask_of w = (1 lsl w) - 1
+
+(* Smallest signed width representing [v]: -2^(w-1) <= v <= 2^(w-1)-1. *)
+let signed_bits v =
+  let rec go w =
+    if w >= 63 then 63
+    else if v >= -(1 lsl (w - 1)) && v <= (1 lsl (w - 1)) - 1 then w
+    else go (w + 1)
+  in
+  go 1
+
+let bits_needed a = max (signed_bits a.iv.I.lo) (signed_bits a.iv.I.hi)
+
+(* Known-bits view of an interval. Only claims bits when they are certain:
+   a singleton knows its full pattern; a same-sign representable interval
+   knows the pattern prefix above the highest differing bit. *)
+let kb_of_iv w (iv : I.t) =
+  let mask = mask_of w in
+  if iv.I.lo = iv.I.hi then
+    let p = iv.I.lo land mask in
+    (lnot p land mask, p)
+  else
+    let rep = I.of_width w in
+    if iv.I.lo >= rep.I.lo && iv.I.hi <= rep.I.hi && iv.I.lo < 0 = (iv.I.hi < 0) then (
+      let plo = iv.I.lo land mask and phi = iv.I.hi land mask in
+      let x = plo lxor phi in
+      let rec above m = if m <= x then above (m lsl 1) else m in
+      let m = above 1 in
+      let known = mask land lnot (m - 1) in
+      (known land lnot plo, known land plo))
+    else (0, 0)
+
+(* Interval implied by known bits, assuming w-bit sign-extended patterns. *)
+let iv_of_kb w zeros ones =
+  let mask = mask_of w in
+  let unk = mask land lnot (zeros lor ones) in
+  let sign = 1 lsl (w - 1) in
+  (* shift operators are right-associative: parenthesize the lsl *)
+  let sext p = (p lsl (63 - w)) asr (63 - w) in
+  let pmin = ones lor (unk land sign) and pmax = ones lor (unk land lnot sign) in
+  I.make (sext pmin) (sext pmax)
+
+(* Normalized constructor: masks clipped to the width, contradicting bit
+   claims dropped (losing knowledge is always sound), interval and known
+   bits each tightened from the other when the interval is representable
+   (booleans carry the unwrapped comparison results -1/0/1, where the
+   sign-extension reading of the masks does not apply). *)
+let mk w iv zeros ones =
+  let mask = mask_of w in
+  let zeros = zeros land mask and ones = ones land mask in
+  let conflict = zeros land ones in
+  let zeros = zeros land lnot conflict and ones = ones land lnot conflict in
+  let rep = I.of_width w in
+  let representable = iv.I.lo >= rep.I.lo && iv.I.hi <= rep.I.hi in
+  let iv =
+    if representable then
+      match I.intersect iv (iv_of_kb w zeros ones) with Some i -> i | None -> iv
+    else iv
+  in
+  let z2, o2 = kb_of_iv w iv in
+  let zeros = zeros lor z2 and ones = ones lor o2 in
+  let conflict = zeros land ones in
+  { width = w; iv; zeros = zeros land lnot conflict; ones = ones land lnot conflict }
+
+let ty_width ty = Fixedpt.bits (Op.fmt_of ty)
+
+let top_of_ty ty =
+  match ty with
+  | Hls_lang.Ast.Tbool -> mk 1 (I.make (-1) 1) 0 0
+  | _ ->
+      let w = ty_width ty in
+      mk w (I.of_width w) 0 0
+
+let singleton ty v = mk (ty_width ty) (I.make v v) 0 0
+
+let is_singleton a = if a.iv.I.lo = a.iv.I.hi then Some a.iv.I.lo else None
+
+let join a b =
+  mk (max a.width b.width) (I.merge a.iv b.iv) (a.zeros land b.zeros) (a.ones land b.ones)
+
+let pp_aval ppf a =
+  let known = a.zeros lor a.ones in
+  if known = 0 then Format.fprintf ppf "%a:%d" I.pp a.iv (bits_needed a)
+  else Format.fprintf ppf "%a:%d bits[z=%#x o=%#x]" I.pp a.iv (bits_needed a) a.zeros a.ones
+
+(* ---- transfer functions ---- *)
+
+let contains_iv iv x = I.contains iv x
+
+(* Abstract [Fixedpt.wrap]: identity on representable intervals; exact on
+   singletons; otherwise the full representable range, keeping the known
+   low bits (wrapping truncates high bits only). *)
+let wrap_aval fmt a =
+  let w = Fixedpt.bits fmt in
+  let rep = I.of_width w in
+  if a.iv.I.lo >= rep.I.lo && a.iv.I.hi <= rep.I.hi then mk w a.iv a.zeros a.ones
+  else
+    match is_singleton a with
+    | Some v ->
+        let v = Fixedpt.wrap fmt v in
+        mk w (I.make v v) 0 0
+    | None -> if a.width = w then mk w rep a.zeros a.ones else mk w rep 0 0
+
+(* Number of consecutive low bits whose pattern is fully known. *)
+let low_known a =
+  let known = a.zeros lor a.ones in
+  let rec go i = if i < a.width && known land (1 lsl i) <> 0 then go (i + 1) else i in
+  go 0
+
+let low_zero_count a =
+  let rec go i = if i < a.width && a.zeros land (1 lsl i) <> 0 then go (i + 1) else i in
+  go 0
+
+(* Low result bits of an addition/subtraction are determined by the low
+   bits of the operands alone (carries propagate upward). *)
+let addsub_kb ~sub a b =
+  let k = min (low_known a) (low_known b) in
+  if k = 0 then (0, 0)
+  else
+    let m = mask_of k in
+    let la = a.ones land m and lb = b.ones land m in
+    let s = (if sub then la - lb else la + lb) land m in
+    (m land lnot s, s)
+
+let bool_const v = mk 1 (I.make v v) 0 0
+let bool_unknown = mk 1 (I.make 0 1) 0 0
+
+(* Condition tests mirror [Op.bool_of]: any non-zero value is true. *)
+let certainly_true c = (not (contains_iv c.iv 0)) || c.ones <> 0
+let certainly_false c = c.iv.I.lo = 0 && c.iv.I.hi = 0
+
+let max_abs (iv : I.t) = max (abs iv.I.lo) (abs iv.I.hi)
+
+(* Unsigned bit count of a non-negative value. *)
+let ubits v = signed_bits v - (if v >= 0 then 1 else 0) |> max 1
+
+let transfer ty op (args : aval list) =
+  let fmt = Op.fmt_of ty in
+  let w = Fixedpt.bits fmt in
+  let rep = I.of_width w in
+  let topw = mk w rep 0 0 in
+  let top_kb zeros ones = mk w rep zeros ones in
+  let a1 () = match args with [ a ] -> a | _ -> invalid_arg "Range.transfer: arity" in
+  let a2 () = match args with [ a; b ] -> (a, b) | _ -> invalid_arg "Range.transfer: arity" in
+  (* wrapped exact-arithmetic result: the math interval plus any known low
+     bits (which survive wrapping) *)
+  let wrapped ?(zeros = 0) ?(ones = 0) iv =
+    if iv.I.lo >= rep.I.lo && iv.I.hi <= rep.I.hi then mk w iv zeros ones
+    else if iv.I.lo = iv.I.hi then singleton ty (Fixedpt.wrap fmt iv.I.lo)
+    else top_kb zeros ones
+  in
+  let add_like ~sub a b =
+    let zeros, ones = addsub_kb ~sub a b in
+    wrapped ~zeros ~ones (I.add a.iv (if sub then I.neg b.iv else b.iv))
+  in
+  match op with
+  | Op.Const v -> singleton ty (Fixedpt.wrap fmt v)
+  | Op.Read _ -> invalid_arg "Range.transfer: Read is resolved by the environment"
+  | Op.Write _ -> wrap_aval fmt (a1 ())
+  | Op.Add ->
+      let a, b = a2 () in
+      add_like ~sub:false a b
+  | Op.Sub ->
+      let a, b = a2 () in
+      add_like ~sub:true a b
+  | Op.Incr -> add_like ~sub:false (a1 ()) (singleton ty (Fixedpt.of_int fmt 1))
+  | Op.Decr -> add_like ~sub:true (a1 ()) (singleton ty (Fixedpt.of_int fmt 1))
+  | Op.Mul ->
+      let a, b = a2 () in
+      let f = fmt.Fixedpt.frac_bits in
+      let tz = max 0 (min w (low_zero_count a + low_zero_count b - f)) in
+      let zeros = mask_of tz in
+      if bits_needed a + bits_needed b <= 62 then
+        let p = I.mul a.iv b.iv in
+        wrapped ~zeros (I.make (p.I.lo asr f) (p.I.hi asr f))
+      else top_kb zeros 0
+  | Op.Div ->
+      let a, b = a2 () in
+      let f = fmt.Fixedpt.frac_bits in
+      if b.iv.I.lo = 0 && b.iv.I.hi = 0 then topw (* always raises: any value is sound *)
+      else
+        let min_abs_b =
+          if b.iv.I.lo > 0 then b.iv.I.lo else if b.iv.I.hi < 0 then -b.iv.I.hi else 1
+        in
+        if bits_needed a + f <= 62 then
+          let m = max_abs a.iv lsl f / min_abs_b in
+          let lo = if a.iv.I.lo >= 0 && b.iv.I.lo > 0 then 0 else -m in
+          let hi = if a.iv.I.hi <= 0 && b.iv.I.lo > 0 then 0 else m in
+          wrapped (I.make lo hi)
+        else topw
+  | Op.Mod ->
+      let a, b = a2 () in
+      if b.iv.I.lo = 0 && b.iv.I.hi = 0 then topw
+      else
+        let m = min (max_abs b.iv - 1) (max_abs a.iv) in
+        let lo = if a.iv.I.lo >= 0 then 0 else -m in
+        let hi = if a.iv.I.hi <= 0 then 0 else m in
+        wrapped (I.make lo hi)
+  | Op.Shl -> (
+      let a, b = a2 () in
+      match is_singleton b with
+      | Some k when k >= 0 && k <= 62 ->
+          let zeros = ((a.zeros lsl k) lor mask_of (min k w)) land mask_of w in
+          let ones = (a.ones lsl k) land mask_of w in
+          if bits_needed a + k <= 62 then
+            wrapped ~zeros ~ones (I.make (a.iv.I.lo lsl k) (a.iv.I.hi lsl k))
+          else top_kb zeros ones
+      | Some _ -> topw (* negative raises; >62 is outside [Fixedpt]'s domain *)
+      | None -> topw)
+  | Op.Shr -> (
+      let a, b = a2 () in
+      match is_singleton b with
+      | Some k when k >= 0 && k <= 62 ->
+          let sign = 1 lsl (a.width - 1) in
+          let z = (a.zeros lsr k) land mask_of a.width
+          and o = (a.ones lsr k) land mask_of a.width in
+          let high =
+            mask_of a.width land lnot (mask_of (max 0 (a.width - k)))
+          in
+          let z, o =
+            if a.zeros land sign <> 0 then (z lor high, o)
+            else if a.ones land sign <> 0 then (z, o lor high)
+            else (z land lnot high, o land lnot high)
+          in
+          wrapped ~zeros:z ~ones:o (I.make (a.iv.I.lo asr k) (a.iv.I.hi asr k))
+      | Some _ -> topw
+      | None ->
+          let lo = min a.iv.I.lo 0 and hi = if a.iv.I.hi < 0 then -1 else a.iv.I.hi in
+          wrapped (I.make lo hi))
+  | Op.And ->
+      let a, b = a2 () in
+      let zeros = a.zeros lor b.zeros and ones = a.ones land b.ones in
+      if a.iv.I.lo >= 0 || b.iv.I.lo >= 0 then
+        let hi =
+          match (a.iv.I.lo >= 0, b.iv.I.lo >= 0) with
+          | true, true -> min a.iv.I.hi b.iv.I.hi
+          | true, false -> a.iv.I.hi
+          | false, _ -> b.iv.I.hi
+        in
+        wrapped ~zeros ~ones (I.make 0 hi)
+      else top_kb zeros ones
+  | Op.Or ->
+      let a, b = a2 () in
+      let zeros = a.zeros land b.zeros and ones = a.ones lor b.ones in
+      if a.iv.I.lo >= 0 && b.iv.I.lo >= 0 then
+        let hb = max (ubits a.iv.I.hi) (ubits b.iv.I.hi) in
+        wrapped ~zeros ~ones (I.make (max a.iv.I.lo b.iv.I.lo) ((1 lsl hb) - 1))
+      else top_kb zeros ones
+  | Op.Xor ->
+      let a, b = a2 () in
+      let known = (a.zeros lor a.ones) land (b.zeros lor b.ones) in
+      let x = a.ones lxor b.ones in
+      let zeros = known land lnot x and ones = known land x in
+      if a.iv.I.lo >= 0 && b.iv.I.lo >= 0 then
+        let hb = max (ubits a.iv.I.hi) (ubits b.iv.I.hi) in
+        wrapped ~zeros ~ones (I.make 0 ((1 lsl hb) - 1))
+      else top_kb zeros ones
+  | Op.Not -> (
+      let a = a1 () in
+      match ty with
+      | Hls_lang.Ast.Tbool ->
+          if certainly_true a then bool_const 0
+          else if certainly_false a then bool_const 1
+          else bool_unknown
+      | Hls_lang.Ast.Tint _ | Hls_lang.Ast.Tfix _ ->
+          wrapped ~zeros:a.ones ~ones:a.zeros (I.make (-a.iv.I.hi - 1) (-a.iv.I.lo - 1)))
+  | Op.Neg -> wrapped (I.neg (a1 ()).iv)
+  | Op.Cmp c -> (
+      let a, b = a2 () in
+      let kb_differ = a.ones land b.zeros lor (a.zeros land b.ones) <> 0 in
+      let certain =
+        match c with
+        | Op.Ceq ->
+            if kb_differ || not (I.overlaps a.iv b.iv) then Some false
+            else if is_singleton a <> None && a.iv = b.iv then Some true
+            else None
+        | Op.Cne ->
+            if kb_differ || not (I.overlaps a.iv b.iv) then Some true
+            else if is_singleton a <> None && a.iv = b.iv then Some false
+            else None
+        | Op.Clt ->
+            if a.iv.I.hi < b.iv.I.lo then Some true
+            else if a.iv.I.lo >= b.iv.I.hi then Some false
+            else None
+        | Op.Cle ->
+            if a.iv.I.hi <= b.iv.I.lo then Some true
+            else if a.iv.I.lo > b.iv.I.hi then Some false
+            else None
+        | Op.Cgt ->
+            if a.iv.I.lo > b.iv.I.hi then Some true
+            else if a.iv.I.hi <= b.iv.I.lo then Some false
+            else None
+        | Op.Cge ->
+            if a.iv.I.lo >= b.iv.I.hi then Some true
+            else if a.iv.I.hi < b.iv.I.lo then Some false
+            else None
+      in
+      match certain with
+      | Some true -> bool_const 1
+      | Some false -> bool_const 0
+      | None -> bool_unknown)
+  | Op.Zdetect ->
+      let a = a1 () in
+      if (not (contains_iv a.iv 0)) || a.ones <> 0 then bool_const 0
+      else if a.iv.I.lo = 0 && a.iv.I.hi = 0 then bool_const 1
+      else bool_unknown
+  | Op.Mux -> (
+      match args with
+      | [ c; a; b ] ->
+          if certainly_true c then wrap_aval fmt a
+          else if certainly_false c then wrap_aval fmt b
+          else join (wrap_aval fmt a) (wrap_aval fmt b)
+      | _ -> invalid_arg "Range.transfer: arity")
+
+(* ---- whole-CFG fixpoint ---- *)
+
+type env = aval StrMap.t
+
+type t = {
+  t_cfg : Cfg.t;
+  node_avals : aval array array; (* per block; [||] when unreachable *)
+  entry_envs : env option array;
+  t_dead_edges : (int * int * bool) list;
+  t_var_widths : (string * int * int) list;
+}
+
+let env_equal = StrMap.equal (fun (a : aval) b -> a = b)
+
+let join_env a b =
+  StrMap.merge
+    (fun _ x y ->
+      match (x, y) with Some x, Some y -> Some (join x y) | _ -> None)
+    a b
+
+(* Meet of two facts about the same value; [None] on contradiction (the
+   constrained program point is unreachable). *)
+let meet a b =
+  match I.intersect a.iv b.iv with
+  | None -> None
+  | Some iv ->
+      let zeros = a.zeros lor b.zeros and ones = a.ones lor b.ones in
+      if zeros land ones <> 0 then None else Some (mk a.width iv zeros ones)
+
+let chop_hi a h =
+  if h < a.iv.I.lo then None
+  else Some (mk a.width (I.make a.iv.I.lo (min a.iv.I.hi h)) a.zeros a.ones)
+
+let chop_lo a l =
+  if l > a.iv.I.hi then None
+  else Some (mk a.width (I.make (max a.iv.I.lo l) a.iv.I.hi) a.zeros a.ones)
+
+let drop_point a k =
+  if a.iv.I.lo = k && a.iv.I.hi = k then None
+  else if a.iv.I.lo = k then chop_lo a (k + 1)
+  else if a.iv.I.hi = k then chop_hi a (k - 1)
+  else Some a
+
+let negate_cmp = function
+  | Op.Ceq -> Op.Cne
+  | Op.Cne -> Op.Ceq
+  | Op.Clt -> Op.Cge
+  | Op.Cle -> Op.Cgt
+  | Op.Cgt -> Op.Cle
+  | Op.Cge -> Op.Clt
+
+let swap_cmp = function
+  | Op.Ceq -> Op.Ceq
+  | Op.Cne -> Op.Cne
+  | Op.Clt -> Op.Cgt
+  | Op.Cle -> Op.Cge
+  | Op.Cgt -> Op.Clt
+  | Op.Cge -> Op.Cle
+
+(* What holding [x cmp y] says about [x]. *)
+let constrain_left cmp x y =
+  match cmp with
+  | Op.Clt -> chop_hi x (y.iv.I.hi - 1)
+  | Op.Cle -> chop_hi x y.iv.I.hi
+  | Op.Cgt -> chop_lo x (y.iv.I.lo + 1)
+  | Op.Cge -> chop_lo x y.iv.I.lo
+  | Op.Ceq -> meet x y
+  | Op.Cne -> ( match is_singleton y with Some k -> drop_point x k | None -> Some x)
+
+let analyze ?ports cfg =
+  Hls_obs.Trace.with_span "range" @@ fun () ->
+  Hls_obs.Trace.incr "range/analyses";
+  let n = Cfg.n_blocks cfg in
+  let entry = Cfg.entry cfg in
+  let succs = Array.init n (Cfg.succs cfg) in
+  let rpo = Graph_algo.reverse_postorder ~succs ~entry in
+  let headers = List.map fst (Graph_algo.loops ~succs ~entry) in
+  let preds = Graph_algo.preds succs in
+  (* variable inventory: declared types from reads/writes, ports override *)
+  let var_ty : (string, Hls_lang.Ast.ty) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun bid ->
+      Dfg.iter
+        (fun _ node ->
+          match node.Dfg.op with
+          | Op.Read v | Op.Write v ->
+              if not (Hashtbl.mem var_ty v) then Hashtbl.replace var_ty v node.Dfg.ty
+          | _ -> ())
+        (Cfg.dfg cfg bid))
+    (Cfg.block_ids cfg);
+  Option.iter
+    (List.iter (fun (p, _, ty) -> Hashtbl.replace var_ty p ty))
+    ports;
+  let initial_of v ty =
+    match ports with
+    | None -> top_of_ty ty (* calling context unknown: assume nothing *)
+    | Some ps ->
+        if List.exists (fun (p, dir, _) -> p = v && dir = `In) ps then top_of_ty ty
+        else singleton ty 0 (* the simulators zero-initialise the store *)
+  in
+  let entry_env0 =
+    Hashtbl.fold (fun v ty acc -> StrMap.add v (initial_of v ty) acc) var_ty StrMap.empty
+  in
+  let top_env =
+    Hashtbl.fold (fun v ty acc -> StrMap.add v (top_of_ty ty) acc) var_ty StrMap.empty
+  in
+  (* ---- one symbolic execution of a block body ---- *)
+  let run_block bid env =
+    let g = Cfg.dfg cfg bid in
+    let values = Array.make (Dfg.n_nodes g) bool_unknown in
+    Dfg.iter
+      (fun nid node ->
+        values.(nid) <-
+          (match node.Dfg.op with
+          | Op.Read v -> (
+              match StrMap.find_opt v env with
+              | Some a -> a
+              | None -> top_of_ty node.Dfg.ty)
+          | op -> transfer node.Dfg.ty op (List.map (Array.get values) node.Dfg.args)))
+      g;
+    let exit_env =
+      List.fold_left
+        (fun acc (v, wnid) -> StrMap.add v values.(wnid) acc)
+        env (Dfg.writes g)
+    in
+    (values, exit_env)
+  in
+  (* Map condition-node constraints back to variables: a variable's exit
+     value equals node [x] when [x] is its (only) read and it is never
+     written in the block, or [x] is the argument of its last write and
+     writing cannot wrap it. *)
+  let edge_constraint_vars bid values exit_env =
+    let g = Cfg.dfg cfg bid in
+    let written = List.map fst (Dfg.writes g) in
+    let sources : (Dfg.nid * string) list =
+      List.filter_map
+        (fun (v, rnid) -> if List.mem v written then None else Some (rnid, v))
+        (Dfg.reads g)
+      @ List.filter_map
+          (fun (v, wnid) ->
+            let last =
+              List.fold_left
+                (fun acc (v', w') -> if v' = v then Some w' else acc)
+                None (Dfg.writes g)
+            in
+            if last <> Some wnid then None
+            else
+              match Dfg.args g wnid with
+              | [ a ] ->
+                  let w = ty_width (Dfg.ty g wnid) in
+                  let rep = I.of_width w in
+                  if values.(a).iv.I.lo >= rep.I.lo && values.(a).iv.I.hi <= rep.I.hi
+                  then Some (a, v)
+                  else None
+              | _ -> None)
+          (Dfg.writes g)
+    in
+    fun constraints ->
+      (* apply node constraints to the exit env; None = edge unreachable *)
+      List.fold_left
+        (fun acc (nid, c) ->
+          match (acc, c) with
+          | None, _ -> None
+          | Some _, None -> None
+          | Some env, Some c ->
+              List.fold_left
+                (fun acc (snid, v) ->
+                  match acc with
+                  | None -> None
+                  | Some env ->
+                      if snid <> nid then Some env
+                      else (
+                        match meet (StrMap.find v env) c with
+                        | Some a -> Some (StrMap.add v a env)
+                        | None -> None))
+                (Some env) sources)
+        (Some exit_env) constraints
+  in
+  let refine bid values exit_env ~assume cnid =
+    let g = Cfg.dfg cfg bid in
+    let apply = edge_constraint_vars bid values exit_env in
+    match (Dfg.op g cnid, Dfg.args g cnid) with
+    | Op.Cmp cmp, [ x; y ] ->
+        let cmp = if assume then cmp else negate_cmp cmp in
+        let vx = values.(x) and vy = values.(y) in
+        apply
+          [ (x, constrain_left cmp vx vy); (y, constrain_left (swap_cmp cmp) vy vx) ]
+    | Op.Zdetect, [ x ] ->
+        let vx = values.(x) in
+        let c =
+          if assume then meet vx (mk vx.width (I.make 0 0) 0 0) else drop_point vx 0
+        in
+        apply [ (x, c) ]
+    | Op.Read _, [] ->
+        let vc = values.(cnid) in
+        let c = if assume then drop_point vc 0 else meet vc (mk vc.width (I.make 0 0) 0 0) in
+        apply [ (cnid, c) ]
+    | _ -> Some exit_env
+  in
+  (* successor edge environments of a block under the given entry env *)
+  let out_edges bid env =
+    let values, exit_env = run_block bid env in
+    match Cfg.term cfg bid with
+    | Cfg.Goto t -> [ (t, Some exit_env) ]
+    | Cfg.Halt -> []
+    | Cfg.Branch (c, t, f) ->
+        if t = f then [ (t, Some exit_env) ]
+        else
+          let cond = values.(c) in
+          if certainly_true cond then [ (t, Some exit_env); (f, None) ]
+          else if certainly_false cond then [ (t, None); (f, Some exit_env) ]
+          else
+            [
+              (t, refine bid values exit_env ~assume:true c);
+              (f, refine bid values exit_env ~assume:false c);
+            ]
+  in
+  (* ---- fixpoint on block-entry environments ---- *)
+  let edge_envs : (int * int, env) Hashtbl.t = Hashtbl.create 16 in
+  let in_envs : env option array = Array.make n None in
+  let visits = Array.make n 0 in
+  let widen_threshold = 4 in
+  let widen_env prev next =
+    StrMap.merge
+      (fun v p nx ->
+        match (p, nx) with
+        | Some p, Some nx ->
+            let bound =
+              match Hashtbl.find_opt var_ty v with
+              | Some ty -> (top_of_ty ty).iv
+              | None -> I.of_width 62
+            in
+            if p.iv = nx.iv then Some nx
+            else (
+              Hls_obs.Trace.incr "range/widenings";
+              Some (mk nx.width (I.widen ~bound p.iv nx.iv) nx.zeros nx.ones))
+        | _ -> None)
+      prev next
+  in
+  let joined_in bid =
+    let incoming =
+      List.filter_map (fun p -> Hashtbl.find_opt edge_envs (p, bid)) preds.(bid)
+    in
+    let incoming = if bid = entry then entry_env0 :: incoming else incoming in
+    match incoming with
+    | [] -> None
+    | e :: rest -> Some (List.fold_left join_env e rest)
+  in
+  let changed = ref true in
+  let pass = ref 0 in
+  let max_passes = 200 in
+  while !changed && !pass < max_passes do
+    incr pass;
+    Hls_obs.Trace.incr "range/passes";
+    changed := false;
+    List.iter
+      (fun bid ->
+        match joined_in bid with
+        | None -> ()
+        | Some env ->
+            let env =
+              match in_envs.(bid) with
+              | Some prev
+                when List.mem bid headers && visits.(bid) >= widen_threshold ->
+                  widen_env prev env
+              | _ -> env
+            in
+            let stale =
+              match in_envs.(bid) with
+              | Some prev -> not (env_equal prev env)
+              | None -> true
+            in
+            if stale then (
+              visits.(bid) <- visits.(bid) + 1;
+              in_envs.(bid) <- Some env;
+              List.iter
+                (fun (s, e) ->
+                  match e with
+                  | None -> ()
+                  | Some e ->
+                      let key = (bid, s) in
+                      let same =
+                        match Hashtbl.find_opt edge_envs key with
+                        | Some o -> env_equal o e
+                        | None -> false
+                      in
+                      if not same then (
+                        Hashtbl.replace edge_envs key e;
+                        changed := true))
+                (out_edges bid env)))
+      rpo
+  done;
+  if !changed then (
+    (* fixpoint did not settle within the pass budget: fall back to the
+       sound every-variable-unconstrained answer *)
+    Hls_obs.Trace.incr "range/fallbacks";
+    List.iter (fun bid -> in_envs.(bid) <- Some top_env) rpo);
+  (* ---- final pass: record per-node facts and dead edges ---- *)
+  let node_avals = Array.make n [||] in
+  let dead = ref [] in
+  List.iter
+    (fun bid ->
+      match in_envs.(bid) with
+      | None -> ()
+      | Some env -> (
+          let values, exit_env = run_block bid env in
+          node_avals.(bid) <- values;
+          match Cfg.term cfg bid with
+          | Cfg.Branch (c, t, f) when t <> f ->
+              let cond = values.(c) in
+              if certainly_true cond then dead := (bid, f, true) :: !dead
+              else if certainly_false cond then dead := (bid, t, false) :: !dead
+              else (
+                (match refine bid values exit_env ~assume:true c with
+                | None -> dead := (bid, t, false) :: !dead
+                | Some _ -> ());
+                match refine bid values exit_env ~assume:false c with
+                | None -> dead := (bid, f, true) :: !dead
+                | Some _ -> ())
+          | _ -> ()))
+    rpo;
+  let dead = List.sort compare !dead in
+  Hls_obs.Trace.add "range/dead_edges" (List.length dead);
+  (* ---- per-variable width summary ---- *)
+  let var_widths =
+    Hashtbl.fold
+      (fun v ty acc ->
+        let declared = ty_width ty in
+        let inferred = ref 1 in
+        let see a = inferred := max !inferred (bits_needed a) in
+        Array.iteri
+          (fun bid env ->
+            match env with
+            | Some env ->
+                Option.iter see (StrMap.find_opt v env);
+                let values = node_avals.(bid) in
+                if Array.length values > 0 then
+                  Dfg.iter
+                    (fun nid node ->
+                      match node.Dfg.op with
+                      | Op.Write v' when v' = v -> see values.(nid)
+                      | _ -> ())
+                    (Cfg.dfg cfg bid)
+            | None -> ())
+          in_envs;
+        (v, declared, min declared !inferred) :: acc)
+      var_ty []
+    |> List.sort compare
+  in
+  {
+    t_cfg = cfg;
+    node_avals;
+    entry_envs = in_envs;
+    t_dead_edges = dead;
+    t_var_widths = var_widths;
+  }
+
+let node_range t ~bid ~nid =
+  if bid < Array.length t.node_avals && Array.length t.node_avals.(bid) > nid then
+    Some t.node_avals.(bid).(nid)
+  else None
+
+let entry_env t ~bid =
+  if bid < Array.length t.entry_envs then
+    Option.map (fun e -> StrMap.bindings e) t.entry_envs.(bid)
+  else None
+
+let node_bits t ~bid ~nid =
+  let declared = ty_width (Dfg.ty (Cfg.dfg t.t_cfg bid) nid) in
+  match node_range t ~bid ~nid with
+  | Some a -> min declared (bits_needed a)
+  | None -> declared
+
+let dead_edges t = t.t_dead_edges
+
+let reachable t ~bid = bid < Array.length t.entry_envs && t.entry_envs.(bid) <> None
+
+let var_widths t = t.t_var_widths

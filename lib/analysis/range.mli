@@ -1,0 +1,78 @@
+(** Forward abstract interpretation over the CDFG: per-node and
+    per-variable value ranges on an interval ⊓ known-bits lattice.
+
+    The engine mirrors the concrete semantics shared by [Cfg_sim] and the
+    RTL simulator: reads observe block-entry variable values, writes
+    commit at block exit (later writes win), branches test the condition
+    value against zero, and every operator follows [Op.eval]'s exact
+    [Fixedpt] wrapping behavior. Joins happen at CFG merges; loop heads
+    widen with {!Hls_util.Interval.widen} after a few visits so fixpoints
+    terminate; branch edges are refined with the condition's comparison.
+
+    The derived [bits_needed] projection is sound: every value a node can
+    take at runtime is representable in that many signed bits. It feeds
+    the [--narrow] datapath option, the RANGE/WIDTH lint rules and the
+    DSE area lower bounds. *)
+
+(** Abstract value: a signed interval on raw fixed-point patterns plus
+    masks of bits known to be zero / known to be one (over the low
+    [width] bits of the pattern). *)
+type aval = {
+  width : int;  (** declared bit width of the producing type *)
+  iv : Hls_util.Interval.t;  (** value interval, endpoints inclusive *)
+  zeros : int;  (** mask of pattern bits known to be 0 *)
+  ones : int;  (** mask of pattern bits known to be 1 *)
+}
+
+val top_of_ty : Hls_lang.Ast.ty -> aval
+(** No information beyond the declared type: the full representable range
+    ([[-1, 1]] for booleans, whose comparison results are unwrapped). *)
+
+val singleton : Hls_lang.Ast.ty -> int -> aval
+(** The abstract value of one concrete (already wrapped) pattern. *)
+
+val join : aval -> aval -> aval
+(** Least upper bound: interval hull, intersection of known bits. *)
+
+val is_singleton : aval -> int option
+
+val bits_needed : aval -> int
+(** Smallest signed bit count representing every value in the interval
+    (at least 1, at most 63). *)
+
+val pp_aval : Format.formatter -> aval -> unit
+
+(** {2 Whole-CFG analysis} *)
+
+type t  (** analysis result: facts for every reachable node and block *)
+
+val analyze :
+  ?ports:(string * [ `In | `Out ] * Hls_lang.Ast.ty) list -> Hls_cdfg.Cfg.t -> t
+(** Run the dataflow analysis to fixpoint. When [ports] is given, input
+    ports start at their full declared range and every other variable
+    starts at zero (the simulators' initial store); without it every
+    variable conservatively starts unconstrained. Counts work under
+    [range/*] counters inside a [range] trace span. *)
+
+val node_range : t -> bid:int -> nid:int -> aval option
+(** Fact for one dataflow node; [None] when the block is unreachable. *)
+
+val entry_env : t -> bid:int -> (string * aval) list option
+(** Variable values at block entry, sorted by name; [None] when the
+    block is unreachable. *)
+
+val node_bits : t -> bid:int -> nid:int -> int
+(** Inferred storage width for the node's value: [bits_needed] of its
+    fact, clamped to the declared type width (never wider, and the
+    declared width when no fact is available). *)
+
+val dead_edges : t -> (int * int * bool) list
+(** Branch edges proven never taken, as [(block, untaken-target,
+    condition-constant)] — the condition is always [true]/[false]. *)
+
+val reachable : t -> bid:int -> bool
+
+val var_widths : t -> (string * int * int) list
+(** Per variable [(name, declared width, inferred width)], sorted by
+    name. The inferred width covers every boundary and written value the
+    analysis saw, clamped to the declared width. *)

@@ -1,0 +1,136 @@
+open Hls_util
+open Hls_cdfg
+module D = Diagnostic
+module I = Interval
+
+let rules =
+  [
+    ("RANGE001", D.Warning, "comparison outcome is provably constant");
+    ("RANGE002", D.Warning, "branch edge can never be taken");
+    ("RANGE003", D.Warning, "computed value written to a variable is provably constant");
+    ("RANGE004", D.Info, "divisor range contains zero; the division can trap");
+    ("WIDTH001", D.Warning, "exact result always exceeds the declared format (certain wrap)");
+    ("WIDTH002", D.Info, "variable fits in at most half its declared width");
+    ("WIDTH003", D.Warning, "constant shift amount is as large as the operand width");
+  ]
+
+(* Exact mathematical result interval for the wrap-prone operators, or
+   [None] when we cannot bound it without native-int overflow. *)
+let exact_iv fmt op (args : Range.aval list) =
+  let f = fmt.Fixedpt.frac_bits in
+  match (op, args) with
+  | Op.Add, [ a; b ] -> Some (I.add a.Range.iv b.Range.iv)
+  | Op.Sub, [ a; b ] -> Some (I.add a.Range.iv (I.neg b.Range.iv))
+  | Op.Incr, [ a ] ->
+      let one = Fixedpt.of_int fmt 1 in
+      Some (I.add a.Range.iv (I.make one one))
+  | Op.Decr, [ a ] ->
+      let one = Fixedpt.of_int fmt 1 in
+      Some (I.add a.Range.iv (I.make (-one) (-one)))
+  | Op.Neg, [ a ] -> Some (I.neg a.Range.iv)
+  | Op.Mul, [ a; b ] ->
+      if Range.bits_needed a + Range.bits_needed b <= 62 then
+        let p = I.mul a.Range.iv b.Range.iv in
+        Some (I.make (p.I.lo asr f) (p.I.hi asr f))
+      else None
+  | _ -> None
+
+let iv_str (iv : I.t) = Printf.sprintf "[%d,%d]" iv.I.lo iv.I.hi
+
+let check ?facts ?ports cfg =
+  let facts = match facts with Some f -> f | None -> Range.analyze ?ports cfg in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (* RANGE002: dead branch edges *)
+  List.iter
+    (fun (src, dst, value) ->
+      emit
+        (D.warning D.Cdfg ~code:"RANGE002" (D.Block src)
+           "branch to block %d is never taken (condition is always %s)" dst
+           (if value then "true" else "false")))
+    (Range.dead_edges facts);
+  (* per-node rules *)
+  List.iter
+    (fun bid ->
+      if Range.reachable facts ~bid then
+        let g = Cfg.dfg cfg bid in
+        let aval nid = Range.node_range facts ~bid ~nid in
+        Dfg.iter
+          (fun nid node ->
+            let args = List.filter_map aval node.Dfg.args in
+            let have_args = List.length args = List.length node.Dfg.args in
+            let fmt = Op.fmt_of node.Dfg.ty in
+            let w = Fixedpt.bits fmt in
+            (match node.Dfg.op with
+            | Op.Cmp _ -> (
+                match aval nid with
+                | Some a when Range.is_singleton a <> None ->
+                    emit
+                      (D.warning D.Cdfg ~code:"RANGE001" (D.Node (bid, nid))
+                         "comparison %s is always %s" (Op.to_string node.Dfg.op)
+                         (if Range.is_singleton a = Some 0 then "false" else "true"))
+                | _ -> ())
+            | Op.Write v -> (
+                match node.Dfg.args with
+                | [ a ] when Dfg.occupies_step g a -> (
+                    match aval a with
+                    | Some av -> (
+                        match Range.is_singleton av with
+                        | Some k ->
+                            emit
+                              (D.warning D.Cdfg ~code:"RANGE003" (D.Node (bid, nid))
+                                 "%s is always assigned the constant %d computed by %s"
+                                 v k
+                                 (Op.to_string (Dfg.op g a)))
+                        | None -> ())
+                    | None -> ())
+                | _ -> ())
+            | Op.Div | Op.Mod -> (
+                match node.Dfg.args with
+                | [ _; b ] -> (
+                    match aval b with
+                    | Some bv
+                      when I.contains bv.Range.iv 0
+                           && bv.Range.ones = 0
+                           && not (bv.Range.iv.I.lo = 0 && bv.Range.iv.I.hi = 0) ->
+                        emit
+                          (D.info D.Cdfg ~code:"RANGE004" (D.Node (bid, nid))
+                             "divisor range %s contains zero; %s can trap"
+                             (iv_str bv.Range.iv)
+                             (Op.to_string node.Dfg.op))
+                    | _ -> ())
+                | _ -> ())
+            | Op.Shl | Op.Shr -> (
+                match node.Dfg.args with
+                | [ _; amt ] -> (
+                    match Dfg.op g amt with
+                    | Op.Const k when k >= w ->
+                        emit
+                          (D.warning D.Cdfg ~code:"WIDTH003" (D.Node (bid, nid))
+                             "shift by %d on a %d-bit value discards every data bit" k
+                             w)
+                    | _ -> ())
+                | _ -> ())
+            | _ -> ());
+            (* WIDTH001: certain wrap — the exact result interval misses the
+               representable range entirely *)
+            if have_args then
+              match exact_iv fmt node.Dfg.op args with
+              | Some exact when I.intersect exact (I.of_width w) = None ->
+                  emit
+                    (D.warning D.Cdfg ~code:"WIDTH001" (D.Node (bid, nid))
+                       "%s result %s never fits the declared %d-bit format: every \
+                        evaluation wraps"
+                       (Op.to_string node.Dfg.op) (iv_str exact) w)
+              | _ -> ())
+          g)
+    (Cfg.block_ids cfg);
+  (* WIDTH002: narrowing opportunities per variable *)
+  List.iter
+    (fun (v, declared, inferred) ->
+      if declared > 1 && inferred * 2 <= declared then
+        emit
+          (D.info D.Cdfg ~code:"WIDTH002" (D.Register v)
+             "variable %s fits in %d of its %d declared bits" v inferred declared))
+    (Range.var_widths facts);
+  D.sort !diags

@@ -1,0 +1,24 @@
+(** Value-range and bit-width lint rules over the CDFG, driven by the
+    {!Range} abstract interpretation.
+
+    - [RANGE001] (warning) — a comparison whose outcome is provably
+      constant: one branch of the surrounding control is dead logic.
+    - [RANGE002] (warning) — a branch edge that can never be taken.
+    - [RANGE003] (warning) — a computed value written to a variable is
+      provably a single constant: the functional-unit work is dead.
+    - [RANGE004] (info) — a divisor range that contains zero: the
+      division can trap at runtime.
+    - [WIDTH001] (warning) — an operation whose exact result always
+      falls outside its declared format: every evaluation wraps.
+    - [WIDTH002] (info) — a variable whose inferred width is at most
+      half its declared width: a narrowing opportunity.
+    - [WIDTH003] (warning) — a constant shift amount at least as large
+      as the operand width: the shift discards every data bit. *)
+
+val rules : (string * Diagnostic.severity * string) list
+(** [(code, severity, description)] rows for the lint rule table. *)
+
+val check : ?facts:Range.t -> ?ports:(string * [ `In | `Out ] * Hls_lang.Ast.ty) list ->
+  Hls_cdfg.Cfg.t -> Diagnostic.t list
+(** Run all RANGE/WIDTH rules. Reuses [facts] when the caller already
+    analyzed the CFG (otherwise runs {!Range.analyze} with [ports]). *)

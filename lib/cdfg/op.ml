@@ -93,6 +93,7 @@ let base_class = function
 
 (* ---- evaluation ---- *)
 
+(* Also the width/format authority for the range analysis and datapath. *)
 let fmt_of (ty : Hls_lang.Ast.ty) =
   match ty with
   | Hls_lang.Ast.Tbool -> Fixedpt.format ~int_bits:1 ~frac_bits:0

@@ -49,6 +49,11 @@ val base_class : t -> fu_class
 (** Context-free classification: shifts are classified [C_shift] and writes
     [C_none]; {!Dfg.fu_class_of} refines both. *)
 
+val fmt_of : Hls_lang.Ast.ty -> Hls_util.Fixedpt.format
+(** The fixed-point format every evaluation of a node of this type uses
+    (booleans are 1-bit integers). Shared with the range analysis so its
+    transfer functions wrap exactly like {!eval}. *)
+
 val eval : Hls_lang.Ast.ty -> t -> int list -> int
 (** Bit-exact evaluation of an operator at a result type, shared by the
     CDFG interpreter and the RTL simulator. Comparison arguments are

@@ -51,8 +51,9 @@ type bkey =
   mkey
   * string (* Cfg_sched.digest *)
   * [ `Clique | `Greedy_min_mux | `Greedy_first_fit ]
-  * bool
+  * bool (* share_variables *)
   * Hls_ctrl.Encoding.style
+  * bool (* narrow: width inference changes the bound datapath *)
 
 type config = {
   jobs : int;
@@ -245,6 +246,7 @@ let point_args (options : Flow.options) =
     ("limits", Limits.to_string options.limits);
     ("allocator", Flow.allocator_to_string options.allocator);
     ("encoding", Hls_ctrl.Encoding.style_to_string options.encoding);
+    ("narrow", string_of_bool options.narrow);
   ]
 
 let canonical_options (options : Flow.options) =
@@ -289,7 +291,8 @@ let eval_staged t (options : Flow.options) =
       Cfg_sched.digest sched,
       options.allocator,
       options.share_variables,
-      options.encoding )
+      options.encoding,
+      options.narrow )
   in
   match
     memo t "backend" t.n_back t.backs bkey (fun () ->

@@ -186,8 +186,11 @@ module Bound = struct
      step's sum of cheapest-component areas at each operation's width is
      unavoidable. Count-based: the peak concurrent count (which also
      covers multi-step occupancy no single start step exhibits) times
-     the cheapest component at the block's narrowest class width. *)
-  let fu_area_lb cs =
+     the cheapest component at the block's narrowest class width.
+     [node_w] supplies each operation's storage width — declared type
+     width normally, the range-inferred width under [narrow], matching
+     what {!Hls_rtl.Datapath.build} will bind. *)
+  let fu_area_lb ~node_w cs =
     let cfg = Cfg_sched.cfg cs in
     let best = Hashtbl.create 4 in
     let bump cls a =
@@ -204,7 +207,7 @@ module Bound = struct
             if Hls_cdfg.Dfg.occupies_step g nid then begin
               let cls = Hls_cdfg.Dfg.fu_class_of g nid in
               if List.mem cls real_classes then begin
-                let w = bits_of (Hls_cdfg.Dfg.ty g nid) in
+                let w = node_w g bid nid in
                 let cur = Option.value (Hashtbl.find_opt minw cls) ~default:max_int in
                 Hashtbl.replace minw cls (min cur w)
               end
@@ -224,7 +227,7 @@ module Bound = struct
               if Hls_cdfg.Dfg.occupies_step g nid then begin
                 let cls = Hls_cdfg.Dfg.fu_class_of g nid in
                 if List.mem cls real_classes then begin
-                  let a = min_class_area cls ~width:(bits_of (Hls_cdfg.Dfg.ty g nid)) in
+                  let a = min_class_area cls ~width:(node_w g bid nid) in
                   let cur = Option.value (Hashtbl.find_opt sums cls) ~default:0 in
                   Hashtbl.replace sums cls (cur + a)
                 end
@@ -265,7 +268,7 @@ module Bound = struct
      shared temp tracks cannot shrink a single boundary's footprint.
      Port-variable spans are excluded because {!port_reg_area} already
      counts those registers unconditionally, so the two bounds add. *)
-  let live_reg_area (o : Flow.optimized) cs =
+  let live_reg_area ~node_w (o : Flow.optimized) cs =
     let ports = port_names o in
     let cfg = Cfg_sched.cfg cs in
     List.fold_left
@@ -290,7 +293,7 @@ module Bound = struct
           (fun (vi : Hls_alloc.Lifetime.value_info) ->
             let w =
               Hls_rtl.Component.register_area
-                ~width:(bits_of (Hls_cdfg.Dfg.ty g vi.Hls_alloc.Lifetime.nid))
+                ~width:(node_w g bid vi.Hls_alloc.Lifetime.nid)
             in
             match vi.Hls_alloc.Lifetime.storage with
             | Hls_alloc.Lifetime.Temp iv -> add iv.Interval.lo iv.Interval.hi w
@@ -307,6 +310,63 @@ module Bound = struct
         max acc !best)
       0
       (Hls_cdfg.Cfg.block_ids cfg)
+
+  (* Steering into registers: every write in the CFG produces a load on
+     its variable's register, so the register's input mux selects among
+     at least as many distinct wires as the variable has distinct
+     constant assignments (each constant is its own wire), plus one more
+     when any assignment comes from computation. Ports own dedicated
+     registers, never merged, so their demands add; non-port variables
+     may share registers, so only the largest single demand is
+     unavoidable. The mux is at least as wide as the register, which is
+     at least as wide as the variable's widest stored value — [node_w]
+     again mirrors the datapath's width choice. *)
+  let reg_mux_area_lb ~node_w (o : Flow.optimized) cs =
+    let ports = port_names o in
+    let cfg = Cfg_sched.cfg cs in
+    let consts : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+    let nonconst : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    let width : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun bid ->
+        let g = Hls_cdfg.Cfg.dfg cfg bid in
+        Hls_cdfg.Dfg.iter
+          (fun nid node ->
+            match node.Hls_cdfg.Dfg.op with
+            | Hls_cdfg.Op.Read v | Hls_cdfg.Op.Write v ->
+                let w = node_w g bid nid in
+                let cur = Option.value (Hashtbl.find_opt width v) ~default:0 in
+                if w > cur then Hashtbl.replace width v w;
+                if
+                  match node.Hls_cdfg.Dfg.op with
+                  | Hls_cdfg.Op.Write _ -> true
+                  | _ -> false
+                then begin
+                  match node.Hls_cdfg.Dfg.args with
+                  | [ a ] -> (
+                      match Hls_cdfg.Dfg.op g a with
+                      | Hls_cdfg.Op.Const c ->
+                          let cur =
+                            Option.value (Hashtbl.find_opt consts v) ~default:[]
+                          in
+                          if not (List.mem c cur) then
+                            Hashtbl.replace consts v (c :: cur)
+                      | _ -> Hashtbl.replace nonconst v ())
+                  | _ -> ()
+                end
+            | _ -> ())
+          g)
+      (Hls_cdfg.Cfg.block_ids cfg);
+    Hashtbl.fold
+      (fun v w (sum, mx) ->
+        let m =
+          List.length (Option.value (Hashtbl.find_opt consts v) ~default:[])
+          + if Hashtbl.mem nonconst v then 1 else 0
+        in
+        let a = Hls_rtl.Component.mux_area ~inputs:m ~width:w in
+        if List.mem v ports then (sum + a, mx) else (sum, max mx a))
+      width (0, 0)
+    |> fun (sum, mx) -> sum + mx
 
   (* The controller keeps at least its state register; combinational
      next-state logic only adds on top. *)
@@ -338,8 +398,18 @@ module Bound = struct
     else Hls_rtl.Component.register_delay_ns
 
   let compute (options : Flow.options) (o : Flow.optimized) cs =
+    let node_w =
+      if options.Flow.narrow then begin
+        let facts =
+          Hls_analysis.Range.analyze ~ports:(Flow.ports_of o.Flow.o_prog) o.Flow.o_cfg
+        in
+        fun _g bid nid -> Hls_analysis.Range.node_bits facts ~bid ~nid
+      end
+      else fun g _bid nid -> bits_of (Hls_cdfg.Dfg.ty g nid)
+    in
     let area =
-      fu_area_lb cs + port_reg_area o cs + live_reg_area o cs + ctrl_area_lb options cs
+      fu_area_lb ~node_w cs + port_reg_area o cs + live_reg_area ~node_w o cs
+      + reg_mux_area_lb ~node_w o cs + ctrl_area_lb options cs
     in
     let latency = cycle_lb cs *. float_of_int (Cfg_sched.compute_steps cs) in
     (area, latency)
@@ -373,6 +443,7 @@ let backend_class (options : Flow.options) sched =
       Flow.allocator_to_string options.Flow.allocator;
       string_of_bool options.Flow.share_variables;
       Hls_ctrl.Encoding.style_to_string options.Flow.encoding;
+      string_of_bool options.Flow.narrow;
     ]
 
 let run_points_pruned ~config ~engine src labelled =

@@ -101,21 +101,40 @@ val sweep_pruned :
     Exposed so tests can assert soundness ([compute] never exceeds the
     true estimate) directly. *)
 module Bound : sig
-  val fu_area_lb : Hls_sched.Cfg_sched.t -> int
+  val fu_area_lb :
+    node_w:(Hls_cdfg.Dfg.t -> int -> int -> int) -> Hls_sched.Cfg_sched.t -> int
   (** Per-class peak demand: the larger of the busiest step's
       width-aware cheapest-component sum (concurrent operations run on
       distinct units, each at least as wide as its own operation) and
       peak concurrency × cheapest component at the narrowest class
-      width. *)
+      width. [node_w g bid nid] is the operation's storage width —
+      declared type width normally, the range-inferred width under
+      [narrow] (see {!compute}). *)
 
   val port_reg_area : Flow.optimized -> Hls_sched.Cfg_sched.t -> int
   (** Registers of every port read or written in the CFG — ports are
-      never shared, so these exist at every step boundary. *)
+      never shared (and never narrowed), so these exist at their
+      declared widths at every step boundary. *)
 
-  val live_reg_area : Flow.optimized -> Hls_sched.Cfg_sched.t -> int
+  val live_reg_area :
+    node_w:(Hls_cdfg.Dfg.t -> int -> int -> int) ->
+    Flow.optimized ->
+    Hls_sched.Cfg_sched.t ->
+    int
   (** Peak simultaneous {e non-port} stored-value footprint over all
       step boundaries ({!Hls_alloc.Lifetime}); adds to
       {!port_reg_area}. *)
+
+  val reg_mux_area_lb :
+    node_w:(Hls_cdfg.Dfg.t -> int -> int -> int) ->
+    Flow.optimized ->
+    Hls_sched.Cfg_sched.t ->
+    int
+  (** Register-input steering floor: every distinct constant assigned
+      to a variable is a distinct wire on its register's load mux (plus
+      one wire when any assignment is computed). Port registers are
+      dedicated, so their demands add; non-port variables may share
+      registers, so only the largest single demand counts. *)
 
   val ctrl_area_lb : Flow.options -> Hls_sched.Cfg_sched.t -> int
   (** The controller's state register under the point's encoding. *)
@@ -126,7 +145,11 @@ module Bound : sig
 
   val compute : Flow.options -> Flow.optimized -> Hls_sched.Cfg_sched.t -> int * float
   (** [(area_lb, latency_lb)] — componentwise under the true
-      {!Hls_rtl.Estimate} of any backend completion of the point. *)
+      {!Hls_rtl.Estimate} of any backend completion of the point. Under
+      [options.narrow] the width-dependent floors use the range
+      analysis' inferred widths (the same facts the datapath narrowing
+      consumes), so the bounds stay sound {e and} tight for narrowed
+      backends. *)
 end
 
 val dominates : point -> point -> bool

@@ -51,6 +51,9 @@ type options = {
   allocator : [ `Clique | `Greedy_min_mux | `Greedy_first_fit ];
   share_variables : bool;
   encoding : Hls_ctrl.Encoding.style;
+  narrow : bool;
+      (** shrink register/FU/mux widths to the range analysis' inferred
+          widths; area-only (simulation evaluates at full precision) *)
 }
 
 let default_options =
@@ -62,6 +65,7 @@ let default_options =
     allocator = `Greedy_min_mux;
     share_variables = true;
     encoding = Hls_ctrl.Encoding.Binary;
+    narrow = false;
   }
 
 type design = {
@@ -147,6 +151,26 @@ let midend ~opt_level ~if_conversion c =
           if changed then
             Hls_transform.Passes.optimize ~level:opt_level ~outputs
               (fst (Hls_transform.Clean_cfg.merge cfg))
+          else cfg
+        end
+        else cfg
+      in
+      (* aggressive level: feed range-proven constants back into the
+         folder — values the interval analysis pins down across blocks
+         (per-block folding cannot see them) become constants, and proven
+         branches become gotos *)
+      let cfg =
+        if opt_level = `Aggressive then begin
+          let facts = Hls_analysis.Range.analyze ~ports:(ports_of prog) cfg in
+          let value bid nid =
+            match Hls_analysis.Range.node_range facts ~bid ~nid with
+            | Some a -> Hls_analysis.Range.is_singleton a
+            | None -> None
+          in
+          if Hls_transform.Const_fold.apply_facts cfg ~value then begin
+            Hls_obs.Trace.incr "range/folds";
+            Hls_transform.Passes.optimize ~level:opt_level ~outputs cfg
+          end
           else cfg
         end
         else cfg
@@ -268,6 +292,7 @@ let lint (d : design) =
   let fsm = d.datapath.Hls_rtl.Datapath.fsm in
   let fields, words = microcode_image d in
   Hls_analysis.Cdfg_check.check d.cfg
+  @ Hls_analysis.Width_check.check ~ports:(ports_of d.prog) d.cfg
   @ Hls_analysis.Sched_check.check ~limits d.sched
   @ Hls_analysis.Alloc_check.check_fu d.sched d.fu
   @ Hls_analysis.Alloc_check.check_registers d.sched
@@ -311,9 +336,18 @@ let complete_result ?(verify = false) options o ~sched =
         let transfers = Hls_alloc.Interconnect.transfers sched ~fu ~regs in
         (fu, regs, transfers))
   in
+  let node_bits =
+    if options.narrow then (
+      let facts = Hls_analysis.Range.analyze ~ports:(ports_of prog) o.o_cfg in
+      Hls_obs.Trace.incr "range/narrowed_designs";
+      Some (fun bid nid -> Hls_analysis.Range.node_bits facts ~bid ~nid))
+    else None
+  in
   let datapath_r =
     Hls_obs.Trace.with_span "bind" (fun () ->
-        let datapath = Hls_rtl.Datapath.build sched ~fu ~regs ~ports:(ports_of prog) in
+        let datapath =
+          Hls_rtl.Datapath.build ?node_bits sched ~fu ~regs ~ports:(ports_of prog)
+        in
         match Hls_rtl.Check.run datapath with
         | Ok () -> Ok datapath
         | Error ds -> Error ds)

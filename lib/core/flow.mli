@@ -39,6 +39,11 @@ type options = {
   allocator : [ `Clique | `Greedy_min_mux | `Greedy_first_fit ];
   share_variables : bool;
   encoding : Hls_ctrl.Encoding.style;
+  narrow : bool;
+      (** shrink register/FU/mux widths to the {!Hls_analysis.Range}
+          inferred widths. Area-only: simulation evaluates at [Op.eval]
+          precision regardless of declared storage width, so narrowed
+          designs are bit-identical to the baseline. *)
 }
 
 val default_options : options

@@ -2,6 +2,7 @@ module D = Hls_analysis.Diagnostic
 
 let rules =
   Hls_analysis.Cdfg_check.rules
+  @ List.map (fun (code, _, doc) -> (code, doc)) Hls_analysis.Width_check.rules
   @ Hls_analysis.Sched_check.rules
   @ Hls_analysis.Alloc_check.rules
   @ Hls_rtl.Check.rules

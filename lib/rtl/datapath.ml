@@ -36,10 +36,15 @@ let bits_of (ty : Hls_lang.Ast.ty) =
 
 let temp_name track = Printf.sprintf "tmp%d" track
 
-let build cs ~fu ~regs ~ports =
+let build ?node_bits cs ~fu ~regs ~ports =
   let cfg = Hls_sched.Cfg_sched.cfg cs in
   let storage = Fu_alloc.storage_table cs in
   let fsm = Hls_ctrl.Fsm.of_schedule cs in
+  (* storage width of one node's value: declared type width by default,
+     or the caller's (range-inferred) narrowing *)
+  let nb bid nid (node : Dfg.node) =
+    match node_bits with Some f -> f bid nid | None -> bits_of node.Dfg.ty
+  in
   (* ---- register inventory ---- *)
   let widths : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let kinds : (string, [ `In_port | `Out_port | `Var | `Temp ]) Hashtbl.t =
@@ -64,10 +69,10 @@ let build cs ~fu ~regs ~ports =
     (fun bid ->
       let g = Cfg.dfg cfg bid in
       Dfg.iter
-        (fun _ node ->
+        (fun nid node ->
           match node.Dfg.op with
           | Op.Read v | Op.Write v ->
-              note_reg (Reg_alloc.register_of_var regs v) (bits_of node.Dfg.ty) `Var
+              note_reg (Reg_alloc.register_of_var regs v) (nb bid nid node) `Var
           | _ -> ())
         g)
     (Cfg.block_ids cfg);
@@ -78,7 +83,7 @@ let build cs ~fu ~regs ~ports =
       Dfg.iter
         (fun nid node ->
           match Reg_alloc.temp_track regs bid nid with
-          | Some track -> note_reg (temp_name track) (bits_of node.Dfg.ty) `Temp
+          | Some track -> note_reg (temp_name track) (nb bid nid node) `Temp
           | None -> ())
         g)
     (Cfg.block_ids cfg);
@@ -158,7 +163,8 @@ let build cs ~fu ~regs ~ports =
         List.map (fun a -> wire_for r.Fu_alloc.bid a ~step:r.Fu_alloc.step) node.Dfg.args
       in
       let cur_w = match Hashtbl.find_opt fu_widths unit_id with Some w -> w | None -> 1 in
-      Hashtbl.replace fu_widths unit_id (max cur_w (bits_of node.Dfg.ty));
+      Hashtbl.replace fu_widths unit_id
+        (max cur_w (nb r.Fu_alloc.bid r.Fu_alloc.nid node));
       let cur_ops = match Hashtbl.find_opt fu_ops unit_id with Some l -> l | None -> [] in
       Hashtbl.replace fu_ops unit_id (node.Dfg.op :: cur_ops);
       activities :=

@@ -35,11 +35,18 @@ type t = {
 }
 
 val build :
+  ?node_bits:(int -> int -> int) ->
   Hls_sched.Cfg_sched.t ->
   fu:Hls_alloc.Fu_alloc.t ->
   regs:Hls_alloc.Reg_alloc.t ->
   ports:(string * [ `In | `Out ] * Hls_lang.Ast.ty) list ->
   t
+(** [node_bits bid nid] overrides the storage width of one node's value
+    (default: the declared type width). The range analysis passes its
+    inferred widths here to narrow variable/temp registers and functional
+    units; ports always keep their declared widths, and simulation is
+    width-blind (it evaluates at [Op.eval] precision), so narrowing is
+    area-only and bit-identical by construction. *)
 
 val reg_width : t -> string -> int
 (** Raises [Not_found] for unknown registers. *)

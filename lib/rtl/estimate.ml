@@ -9,30 +9,44 @@ type t = {
   latency_ns : float;
 }
 
-(* distinct wire selections per destination → mux sizes *)
+(* Distinct wire selections per destination → mux sizes. Every mux input
+   is as wide as the destination it feeds: the functional unit's bound
+   width for operand ports, the register's width for load ports. Unknown
+   destinations are datapath construction bugs, not 16-bit guesses. *)
 let mux_area_of (dp : Datapath.t) =
-  let by_dest : (string, Wire.t list) Hashtbl.t = Hashtbl.create 32 in
-  let note key width_wire =
-    let have = try Hashtbl.find by_dest key with Not_found -> [] in
-    if not (List.mem width_wire have) then Hashtbl.replace by_dest key (width_wire :: have)
+  let by_dest : (string, int * Wire.t list) Hashtbl.t = Hashtbl.create 32 in
+  let note key width wire =
+    let have =
+      match Hashtbl.find_opt by_dest key with Some (_, ws) -> ws | None -> []
+    in
+    if not (List.mem wire have) then Hashtbl.replace by_dest key (width, wire :: have)
+  in
+  let fu_width id =
+    match List.find_opt (fun (f : Datapath.fu_def) -> f.Datapath.fuid = id) dp.Datapath.fus
+    with
+    | Some f -> f.Datapath.fwidth
+    | None ->
+        invalid_arg (Printf.sprintf "Estimate: activity references undefined fu%d" id)
+  in
+  let reg_w name =
+    match Datapath.reg_width dp name with
+    | w -> w
+    | exception Not_found ->
+        invalid_arg (Printf.sprintf "Estimate: load targets undefined register %S" name)
   in
   List.iter
     (fun (a : Datapath.activity) ->
+      let width = fu_width a.Datapath.a_fu in
       List.iteri
-        (fun pos w -> note (Printf.sprintf "fu%d.%d" a.Datapath.a_fu pos) w)
+        (fun pos w -> note (Printf.sprintf "fu%d.%d" a.Datapath.a_fu pos) width w)
         a.Datapath.a_args)
     dp.Datapath.activities;
   List.iter
-    (fun (l : Datapath.load) -> note ("reg:" ^ l.Datapath.l_reg) l.Datapath.l_wire)
+    (fun (l : Datapath.load) ->
+      note ("reg:" ^ l.Datapath.l_reg) (reg_w l.Datapath.l_reg) l.Datapath.l_wire)
     dp.Datapath.loads;
   Hashtbl.fold
-    (fun key wires acc ->
-      let width =
-        if String.length key > 4 && String.sub key 0 4 = "reg:" then
-          (try Datapath.reg_width dp (String.sub key 4 (String.length key - 4))
-           with Not_found -> 16)
-        else 16
-      in
+    (fun _ (width, wires) acc ->
       acc + Component.mux_area ~inputs:(List.length wires) ~width)
     by_dest 0
 

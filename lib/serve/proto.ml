@@ -145,6 +145,7 @@ let options_of_json json =
   let* allocator = field "allocator" allocators `Greedy_min_mux in
   let* encoding = field "encoding" encodings Hls_ctrl.Encoding.Binary in
   let if_conversion = Option.value ~default:false (J.bool_member "if_convert" json) in
+  let narrow = Option.value ~default:false (J.bool_member "narrow" json) in
   let fus = Option.value ~default:2 (J.int_member "fus" json) in
   Ok
     {
@@ -155,6 +156,7 @@ let options_of_json json =
       allocator;
       share_variables = true;
       encoding;
+      narrow;
     }
 
 let key_of table v = fst (List.find (fun (_, x) -> x = v) table)
@@ -168,6 +170,7 @@ let options_to_json (o : Flow.options) =
       ("fus", J.of_int (fus_of_limits o.Flow.limits));
       ("allocator", J.Str (key_of allocators o.Flow.allocator));
       ("encoding", J.Str (key_of encodings o.Flow.encoding));
+      ("narrow", J.Bool o.Flow.narrow);
     ]
 
 (* ---- requests ---- *)

@@ -113,3 +113,45 @@ let run cfg =
   let changed = Rewrite.rewrite_all cfg ~rule:(fun _bid -> make_rule ()) in
   let branch_changed = fold_branches cfg in
   changed || branch_changed
+
+(* Fold with externally proven facts (the range analysis): a node whose
+   runtime value is a single known pattern becomes that constant, and a
+   branch whose condition is proven becomes a goto. [value bid nid] must
+   be the node's value in {e every} execution; it is consulted with the
+   node ids of the graph as passed in, before any renumbering. *)
+let apply_facts cfg ~value =
+  (* branches first: the rewrite below renumbers node ids *)
+  let branch_changed =
+    List.fold_left
+      (fun acc bid ->
+        match Cfg.term cfg bid with
+        | Cfg.Branch (cond, bt, bf) -> (
+            match Dfg.op (Cfg.dfg cfg bid) cond with
+            | Op.Const _ -> acc (* fold_branches territory *)
+            | _ -> (
+                match value bid cond with
+                | Some v ->
+                    Cfg.set_term cfg bid (Cfg.Goto (if v <> 0 then bt else bf));
+                    true
+                | None -> acc))
+        | Cfg.Goto _ | Cfg.Halt -> acc)
+      false (Cfg.block_ids cfg)
+  in
+  let changed =
+    Rewrite.rewrite_all cfg ~rule:(fun bid ->
+        let rule = make_rule () in
+        fun ~out ~remap id node ~mapped_args ->
+          match node.Dfg.op with
+          | Op.Const _ | Op.Read _ | Op.Write _ ->
+              rule ~out ~remap id node ~mapped_args
+          | _ -> (
+              match value bid id with
+              | Some v when Fixedpt.wrap (fmt_of_ty node.Dfg.ty) v = v ->
+                  (* re-enter the shared rule with a constant node so the
+                     per-block constant dedup table applies *)
+                  rule ~out ~remap id
+                    { Dfg.op = Op.Const v; args = []; ty = node.Dfg.ty }
+                    ~mapped_args:[]
+              | _ -> rule ~out ~remap id node ~mapped_args))
+  in
+  branch_changed || changed

@@ -10,3 +10,12 @@
 
 val run : Hls_cdfg.Cfg.t -> bool
 (** Returns true if anything changed. *)
+
+val apply_facts : Hls_cdfg.Cfg.t -> value:(int -> int -> int option) -> bool
+(** Fold with externally proven per-node constants — [value bid nid] is
+    [Some v] when the node provably evaluates to the pattern [v] in every
+    execution (e.g. a {!Hls_analysis.Range} singleton). Replaces such
+    nodes with constants (when [v] is representable in the node's type)
+    and turns proven branches into gotos. The transform library stays
+    analysis-agnostic: callers supply the valuation. Returns true if
+    anything changed. *)

@@ -32,3 +32,27 @@ let max_overlap ivs =
   best
 
 let pp ppf a = Format.fprintf ppf "[%d,%d]" a.lo a.hi
+
+(* ---- value-range arithmetic (used by Hls_analysis.Range) ---- *)
+
+let of_width w =
+  if w < 1 || w > 62 then invalid_arg "Interval.of_width: width out of 1..62";
+  { lo = -(1 lsl (w - 1)); hi = (1 lsl (w - 1)) - 1 }
+
+let intersect a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+let add a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+
+let neg a = { lo = -a.hi; hi = -a.lo }
+
+let mul a b =
+  let p1 = a.lo * b.lo and p2 = a.lo * b.hi and p3 = a.hi * b.lo and p4 = a.hi * b.hi in
+  { lo = min (min p1 p2) (min p3 p4); hi = max (max p1 p2) (max p3 p4) }
+
+let widen ~bound prev next =
+  {
+    lo = (if next.lo < prev.lo then min next.lo bound.lo else prev.lo);
+    hi = (if next.hi > prev.hi then max next.hi bound.hi else prev.hi);
+  }

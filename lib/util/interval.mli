@@ -28,3 +28,34 @@ val max_overlap : t list -> int
     0 for the empty list. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Value-range arithmetic}
+
+    The lifetime API above treats intervals as step spans; the operations
+    below treat them as sets of runtime values, for the abstract
+    interpretation in [Hls_analysis.Range]. Callers are responsible for
+    keeping endpoint magnitudes small enough that native [int] arithmetic
+    cannot overflow (the range engine guards operand bit counts). *)
+
+val of_width : int -> t
+(** [of_width w] is the full range of a signed [w]-bit value,
+    [[-2{^w-1}, 2{^w-1} - 1]]. Raises [Invalid_argument] unless
+    [1 <= w <= 62]. *)
+
+val intersect : t -> t -> t option
+(** Set intersection; [None] when the intervals are disjoint. *)
+
+val add : t -> t -> t
+(** Exact interval sum: [[a.lo + b.lo, a.hi + b.hi]]. *)
+
+val neg : t -> t
+(** Exact negation: [[-a.hi, -a.lo]]. *)
+
+val mul : t -> t -> t
+(** Exact product hull: min/max over the four endpoint products. *)
+
+val widen : bound:t -> t -> t -> t
+(** [widen ~bound prev next] keeps every stable endpoint of [prev] and
+    jumps any endpoint that moved in [next] straight to [bound] (or past
+    it, if [next] already escaped [bound]) — the classic interval widening
+    that forces loop fixpoints to terminate. *)

@@ -82,6 +82,108 @@ let test_cdfg_type_rules () =
   Alcotest.(check bool) "two type errors" true
     (List.length (List.filter (fun (d : D.t) -> d.D.code = "CDFG006") ds) >= 2)
 
+(* ---- range/width mutations ----
+
+   Each rule gets one handcrafted CFG exhibiting exactly the defect the
+   rule describes, driven through {!Width_check.check} (which runs the
+   range analysis itself). [~ports:[]] starts every variable at the
+   simulators' zero initial store; omitting it leaves variables
+   unconstrained. *)
+
+let halt_block g =
+  let cfg = Cfg.create () in
+  Cfg.set_entry cfg (Cfg.add_block cfg g Cfg.Halt);
+  cfg
+
+let test_range_constant_cmp () =
+  let g = Dfg.create () in
+  let a = Dfg.add g (Op.Const 5) [] i8 in
+  let b = Dfg.add g (Op.Const 3) [] i8 in
+  let c = Dfg.add g (Op.Cmp Op.Clt) [ a; b ] Ast.Tbool in
+  ignore (Dfg.add g (Op.Write "out") [ c ] Ast.Tbool);
+  check_code "5 < 3" "RANGE001" (Width_check.check (halt_block g))
+
+let test_range_dead_edge () =
+  let cfg = Cfg.create () in
+  let b1 = Cfg.add_block cfg (Dfg.create ()) Cfg.Halt in
+  let b2 = Cfg.add_block cfg (Dfg.create ()) Cfg.Halt in
+  let g = Dfg.create () in
+  let a = Dfg.add g (Op.Const 1) [] i8 in
+  let b = Dfg.add g (Op.Const 2) [] i8 in
+  let c = Dfg.add g (Op.Cmp Op.Clt) [ a; b ] Ast.Tbool in
+  let b0 = Cfg.add_block cfg g (Cfg.Branch (c, b1, b2)) in
+  Cfg.set_entry cfg b0;
+  check_code "1 < 2 never false" "RANGE002" (Width_check.check cfg)
+
+let test_range_constant_write () =
+  let g = Dfg.create () in
+  let a = Dfg.add g (Op.Const 2) [] i8 in
+  let b = Dfg.add g (Op.Const 3) [] i8 in
+  let x = Dfg.add g Op.Add [ a; b ] i8 in
+  ignore (Dfg.add g (Op.Write "v") [ x ] i8);
+  check_code "v := 2 + 3" "RANGE003" (Width_check.check (halt_block g))
+
+let test_range_div_by_zero () =
+  let g = Dfg.create () in
+  let a = Dfg.add g (Op.Read "a") [] i8 in
+  let d = Dfg.add g (Op.Read "d") [] i8 in
+  (* no ports: [d] spans the full signed range, including zero *)
+  let q = Dfg.add g Op.Div [ a; d ] i8 in
+  ignore (Dfg.add g (Op.Write "q") [ q ] i8);
+  check_code "unconstrained divisor" "RANGE004" (Width_check.check (halt_block g))
+
+let test_width_certain_wrap () =
+  let g = Dfg.create () in
+  let a = Dfg.add g (Op.Const 100) [] i8 in
+  let x = Dfg.add g Op.Add [ a; a ] i8 in
+  ignore (Dfg.add g (Op.Write "v") [ x ] i8);
+  check_code "100 + 100 in 8 bits" "WIDTH001" (Width_check.check (halt_block g))
+
+let test_width_oversized_variable () =
+  let g = Dfg.create () in
+  let c = Dfg.add g (Op.Const 3) [] i8 in
+  ignore (Dfg.add g (Op.Write "v") [ c ] i8);
+  (* zero-initialised store: v only ever holds 0 or 3 *)
+  check_code "8-bit v holds 3" "WIDTH002" (Width_check.check ~ports:[] (halt_block g))
+
+let test_width_full_shift () =
+  let g = Dfg.create () in
+  let a = Dfg.add g (Op.Read "a") [] i8 in
+  let k = Dfg.add g (Op.Const 8) [] i8 in
+  let x = Dfg.add g Op.Shl [ a; k ] i8 in
+  ignore (Dfg.add g (Op.Write "v") [ x ] i8);
+  check_code "a << 8 at 8 bits" "WIDTH003" (Width_check.check (halt_block g))
+
+(* range facts feed the aggressive-level constant folder: the folded
+   design must still agree with the unoptimized behavioral reference *)
+let test_range_fold_cosim () =
+  List.iter
+    (fun (name, src) ->
+      let options = { Flow.default_options with Flow.opt_level = `Aggressive } in
+      let d = Flow.synthesize ~options src in
+      match Flow.verify ~runs:3 d with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "%s (aggressive): %s" name e))
+    Workloads.all
+
+(* narrowing is area-only: bit-identical designs, never larger *)
+let test_narrow_cosim_and_area () =
+  List.iter
+    (fun (name, src) ->
+      let base = Flow.synthesize src in
+      let narrow =
+        Flow.synthesize ~options:{ Flow.default_options with Flow.narrow = true } src
+      in
+      (match Flow.verify ~runs:3 narrow with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "%s (narrow): %s" name e));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: narrowed area never larger" name)
+        true
+        (narrow.Flow.estimate.Hls_rtl.Estimate.total_area
+        <= base.Flow.estimate.Hls_rtl.Estimate.total_area))
+    Workloads.all
+
 (* ---- schedule mutations ---- *)
 
 let chain_dfg () =
@@ -407,6 +509,18 @@ let () =
           Alcotest.test_case "bad branch cond" `Quick test_cdfg_bad_branch_cond;
           Alcotest.test_case "unreachable block" `Quick test_cdfg_unreachable_block;
           Alcotest.test_case "type rules" `Quick test_cdfg_type_rules;
+        ] );
+      ( "range",
+        [
+          Alcotest.test_case "constant comparison" `Quick test_range_constant_cmp;
+          Alcotest.test_case "dead branch edge" `Quick test_range_dead_edge;
+          Alcotest.test_case "constant write" `Quick test_range_constant_write;
+          Alcotest.test_case "possible zero divisor" `Quick test_range_div_by_zero;
+          Alcotest.test_case "certain wrap" `Quick test_width_certain_wrap;
+          Alcotest.test_case "oversized variable" `Quick test_width_oversized_variable;
+          Alcotest.test_case "full-width shift" `Quick test_width_full_shift;
+          Alcotest.test_case "aggressive fold cosim" `Quick test_range_fold_cosim;
+          Alcotest.test_case "narrow cosim and area" `Quick test_narrow_cosim_and_area;
         ] );
       ( "sched",
         [

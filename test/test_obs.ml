@@ -164,22 +164,40 @@ let span_shape () =
   List.sort compare
     (List.map (fun s -> (s.Trace.sp_name, s.Trace.sp_parent)) (Trace.spans ()))
 
-let sweep_with ~jobs =
+let sweep_with ?(base = Flow.default_options) ~jobs () =
   fresh ();
   Trace.enable ~capacity:65536 ();
   let config = { Dse.default_config with Dse.jobs } in
-  let points = Explore.sweep ~engine:(Dse.create ~config Workloads.diffeq) Workloads.diffeq in
+  let points =
+    Explore.sweep ~engine:(Dse.create ~config Workloads.diffeq) ~base Workloads.diffeq
+  in
   (List.length points, non_pool_counters (), span_shape ())
 
 let test_counters_jobs_independent () =
-  let n1, c1, t1 = sweep_with ~jobs:1 in
-  let n4, c4, t4 = sweep_with ~jobs:4 in
+  let n1, c1, t1 = sweep_with ~jobs:1 () in
+  let n4, c4, t4 = sweep_with ~jobs:4 () in
   Alcotest.(check int) "same point count" n1 n4;
   Alcotest.(check (list (pair string int)))
     "non-pool counter totals identical across jobs 1 and 4" c1 c4;
   Alcotest.(check bool) "span (name, parent) multiset identical" true (t1 = t4);
   Alcotest.(check bool) "cache layers actually counted" true
     (List.mem_assoc "dse/frontend.misses" c1 && List.assoc "dse/points" c1 = n1)
+
+let test_range_counters_jobs_independent () =
+  (* under [narrow] every backend completion runs the range analysis;
+     its counters must not depend on domain placement *)
+  let base = { Flow.default_options with Flow.narrow = true } in
+  let _, c1, _ = sweep_with ~base ~jobs:1 () in
+  let _, c4, _ = sweep_with ~base ~jobs:4 () in
+  let range cs =
+    List.filter (fun (k, _) -> String.length k > 6 && String.sub k 0 6 = "range/") cs
+  in
+  Alcotest.(check (list (pair string int)))
+    "range/* totals identical across jobs 1 and 4" (range c1) (range c4);
+  Alcotest.(check bool) "narrowing actually counted" true
+    (match List.assoc_opt "range/narrowed_designs" c1 with
+    | Some n -> n > 0
+    | None -> false)
 
 (* ---- Flow Result API ---- *)
 
@@ -229,6 +247,8 @@ let () =
         [
           Alcotest.test_case "counters independent of worker count" `Quick
             test_counters_jobs_independent;
+          Alcotest.test_case "range counters independent of worker count" `Quick
+            test_range_counters_jobs_independent;
         ] );
       ( "result-api",
         [ Alcotest.test_case "Flow result/wrapper agreement" `Quick test_flow_result_api ] );

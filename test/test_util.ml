@@ -152,6 +152,40 @@ let test_interval_max_overlap () =
   check "stack of 3" 3 (Interval.max_overlap [ mk 0 5; mk 1 2; mk 2 3 ]);
   check "chain" 1 (Interval.max_overlap [ mk 0 0; mk 1 1; mk 2 2 ])
 
+let test_interval_arith () =
+  let mk = Interval.make in
+  let eq name a b =
+    Alcotest.(check (pair int int)) name (a.Interval.lo, a.Interval.hi)
+      (b.Interval.lo, b.Interval.hi)
+  in
+  eq "of_width 8" (mk (-128) 127) (Interval.of_width 8);
+  eq "of_width 1" (mk (-1) 0) (Interval.of_width 1);
+  Alcotest.check_raises "of_width 0"
+    (Invalid_argument "Interval.of_width: width out of 1..62") (fun () ->
+      ignore (Interval.of_width 0));
+  eq "add" (mk 3 12) (Interval.add (mk 1 4) (mk 2 8));
+  eq "neg" (mk (-4) (-1)) (Interval.neg (mk 1 4));
+  eq "mul signs" (mk (-12) 6) (Interval.mul (mk (-2) 1) (mk 2 6));
+  eq "mul negative pair" (mk 2 12) (Interval.mul (mk (-4) (-1)) (mk (-3) (-2)));
+  (match Interval.intersect (mk 0 5) (mk 3 9) with
+  | Some iv -> eq "intersect" (mk 3 5) iv
+  | None -> Alcotest.fail "overlapping intersection is empty");
+  Alcotest.(check bool) "disjoint intersect" true
+    (Interval.intersect (mk 0 1) (mk 3 9) = None)
+
+let test_interval_widen () =
+  let mk = Interval.make in
+  let bound = Interval.of_width 8 in
+  let eq name a b =
+    Alcotest.(check (pair int int)) name (a.Interval.lo, a.Interval.hi)
+      (b.Interval.lo, b.Interval.hi)
+  in
+  (* stable bounds stay; growing bounds jump to the widening bound *)
+  eq "stable" (mk 0 5) (Interval.widen ~bound (mk 0 5) (mk 0 5));
+  eq "hi grows" (mk 0 127) (Interval.widen ~bound (mk 0 5) (mk 0 6));
+  eq "lo grows" (mk (-128) 5) (Interval.widen ~bound (mk 0 5) (mk (-1) 5));
+  eq "inside stays" (mk 0 9) (Interval.widen ~bound (mk 0 9) (mk 2 7))
+
 let prop_max_overlap_brute =
   QCheck.Test.make ~name:"max_overlap matches brute force" ~count:200
     Gen.intervals_arbitrary
@@ -289,6 +323,8 @@ let () =
         [
           Alcotest.test_case "overlap" `Quick test_interval_overlap;
           Alcotest.test_case "max_overlap" `Quick test_interval_max_overlap;
+          Alcotest.test_case "range arithmetic" `Quick test_interval_arith;
+          Alcotest.test_case "widen" `Quick test_interval_widen;
           QCheck_alcotest.to_alcotest prop_max_overlap_brute;
         ] );
       ( "render",
