@@ -51,7 +51,7 @@ let fig1 () =
 let sqrt_optimized_cfg () =
   let _p, cfg = Compile.compile_source Workloads.sqrt_newton in
   Hls_transform.Passes.run_pipeline ~outputs:[ "y" ]
-    (Hls_transform.Passes.standard @ [ Hls_transform.Passes.find "loop-recode" ])
+    (Hls_transform.Passes.standard @ [ Hls_transform.Passes.find_exn "loop-recode" ])
     cfg
 
 let steps_of cfg limits =

@@ -8,6 +8,7 @@
      lint     run every IR-level checker and report structured diagnostics
      analyze  dump the value-range/bitwidth inference per variable
      trace    synthesize under the event tracer and emit a Chrome trace
+     passes   list optimization passes, rewrite rules and named pipelines
      examples list the built-in workloads
 
    Every subcommand shares one source term (positional FILE — a path or
@@ -90,11 +91,40 @@ let with_source (file, example) k =
 
 (* ---- shared options term ---- *)
 
+let passes_conv =
+  let parse s =
+    match Hls_transform.Passes.pipeline_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Hls_transform.Passes.pipeline_to_string p)
+  in
+  Arg.conv ~docv:"SPEC" (parse, print)
+
+let passes_arg =
+  Arg.(
+    value
+    & opt (some passes_conv) None
+    & info [ "passes" ] ~docv:"SPEC"
+        ~doc:
+          "Optimization pipeline spec: a named pipeline \
+           (none|standard|aggressive|extract), or a comma-separated pass list, \
+           optionally followed by $(b,+facts), $(b,+extract:area) or \
+           $(b,+extract:latency) modifiers. Run $(b,hlsc passes) for the \
+           catalogue. Examples: $(b,aggressive), $(b,forward,cse,dce), \
+           $(b,standard+extract:latency).")
+
 let opt_level =
   Arg.(
     value
-    & opt (enum [ ("none", `None); ("standard", `Standard); ("aggressive", `Aggressive) ]) `Standard
-    & info [ "opt"; "O" ] ~docv:"LEVEL" ~doc:"Optimization level (none|standard|aggressive).")
+    & opt
+        (some (enum [ ("none", `None); ("standard", `Standard); ("aggressive", `Aggressive) ]))
+        None
+    & info [ "opt"; "O" ] ~docv:"LEVEL"
+        ~doc:
+          "Deprecated alias for $(b,--passes) (none|standard|aggressive); ignored \
+           when $(b,--passes) is given.")
 
 let scheduler =
   let sched_conv =
@@ -151,19 +181,25 @@ let narrow_flag =
           "Narrow registers, functional units and muxes to the widths the value-range \
            analysis proves sufficient (area-only; the design stays bit-identical).")
 
-let make_options opt_level if_conversion scheduler fus allocator encoding narrow =
+let make_options passes opt_level if_conversion scheduler fus allocator encoding narrow =
   let limits =
     if fus = 0 then Hls_sched.Limits.Serial
     else if fus < 0 then Hls_sched.Limits.Unlimited
     else Hls_sched.Limits.Total fus
   in
-  { Flow.opt_level; if_conversion; scheduler; limits; allocator;
+  let passes =
+    match (passes, opt_level) with
+    | Some p, _ -> p
+    | None, Some l -> Hls_transform.Passes.level l
+    | None, None -> Hls_transform.Passes.default_pipeline
+  in
+  { Flow.passes; if_conversion; scheduler; limits; allocator;
     share_variables = true; encoding; narrow }
 
 let options_term =
   Term.(
-    const make_options $ opt_level $ if_convert_flag $ scheduler $ fus $ allocator
-    $ encoding $ narrow_flag)
+    const make_options $ passes_arg $ opt_level $ if_convert_flag $ scheduler $ fus
+    $ allocator $ encoding $ narrow_flag)
 
 (* ---- shared tracing/metrics flags ---- *)
 
@@ -410,7 +446,7 @@ let analyze_cmd =
             start_tracing trace_out;
             let c = Flow.frontend src in
             let o =
-              Flow.midend ~opt_level:options.Flow.opt_level
+              Flow.midend ~passes:options.Flow.passes
                 ~if_conversion:options.Flow.if_conversion c
             in
             let ports = Flow.ports_of o.Flow.o_prog in
@@ -478,8 +514,8 @@ let analyze_cmd =
                                 ds) );
                        ]))
              else begin
-               Printf.printf "%s: inferred value ranges (opt %s)\n" name
-                 (Flow.opt_level_to_string options.Flow.opt_level);
+               Printf.printf "%s: inferred value ranges (passes %s)\n" name
+                 (Hls_transform.Passes.pipeline_to_string options.Flow.passes);
                Printf.printf "  %-12s %9s %9s  %s\n" "variable" "declared" "inferred"
                  "boundary range";
                List.iter
@@ -612,8 +648,18 @@ let cosim_arg =
           "Co-simulate each Pareto-frontier design on N random input vectors \
            (behavioral vs CDFG vs batched RTL) after the sweep.")
 
+let sweep_passes_arg =
+  Arg.(
+    value & opt_all passes_conv []
+    & info [ "sweep-passes" ] ~docv:"SPEC"
+        ~doc:
+          "Add a pipeline spec to the sweep (repeatable). With two or more \
+           specs the sweep crosses pipelines with schedulers and limits, so \
+           fixed pipelines and cost-guided extraction land in one trade-off \
+           table.")
+
 let dse_term =
-  let run source base jobs all timings prune cosim trace_out metrics =
+  let run source base jobs all timings prune cosim sweep_passes trace_out metrics =
     with_source source (fun ~name:_ ~src ->
         handle_errors (fun () ->
             start_tracing trace_out;
@@ -621,9 +667,12 @@ let dse_term =
             let schedulers =
               if all then None else Some [ base.Flow.scheduler ]
             in
+            let pipelines = match sweep_passes with [] -> None | ps -> Some ps in
             let points =
               if prune then begin
-                let pr = Explore.sweep_pruned ~config ~base ?schedulers src in
+                let pr =
+                  Explore.sweep_pruned ~config ~base ?schedulers ?pipelines src
+                in
                 Printf.printf
                   "pruned %d of %d points before the backend (%d rounds)\n"
                   (List.length pr.Explore.pruned)
@@ -631,7 +680,8 @@ let dse_term =
                   pr.Explore.rounds;
                 pr.Explore.evaluated
               end
-              else if all then Explore.sweep ~config ~base src
+              else if all || pipelines <> None then
+                Explore.sweep ~config ~base ?schedulers ?pipelines src
               else Explore.sweep_limits ~config ~base src
             in
             print_string (Explore.table ~timings points);
@@ -653,12 +703,13 @@ let dse_term =
   in
   Term.(
     const run $ source_term $ options_term $ jobs_arg $ all_flag $ timings_flag
-    $ prune_flag $ cosim_arg $ trace_out_flag $ metrics_flag)
+    $ prune_flag $ cosim_arg $ sweep_passes_arg $ trace_out_flag $ metrics_flag)
 
 let dse_doc =
   "Sweep resource limits (or, with $(b,--all), the scheduler \\$(i,\\times) limits \
    cross product) through the memoized DSE engine; print the trade-off table. \
-   $(b,--prune) promotes only promising points through the backend; $(b,--cosim) \
+   $(b,--sweep-passes) adds a pipeline dimension to the sweep; $(b,--prune) \
+   promotes only promising points through the backend; $(b,--cosim) \
    verifies the frontier designs by three-level co-simulation."
 
 let dse_cmd = Cmd.v (Cmd.info "dse" ~doc:dse_doc) dse_term
@@ -813,6 +864,88 @@ let serve_cmd =
       const run $ socket_arg $ stdio_flag $ cache_dir_arg $ queue_arg $ workers_arg
       $ jobs_arg $ verify_flag)
 
+(* ---- passes ---- *)
+
+let passes_cmd =
+  let module P = Hls_transform.Passes in
+  let module R = Hls_transform.Rules in
+  let module E = Hls_transform.Extract in
+  let run json =
+    if json then
+      let pass_obj (p : P.t) =
+        Hls_util.Json.Obj
+          [ ("name", Hls_util.Json.Str p.P.name); ("descr", Hls_util.Json.Str p.P.descr) ]
+      in
+      let rule_obj (r : R.t) =
+        Hls_util.Json.Obj
+          [
+            ("name", Hls_util.Json.Str r.R.name);
+            ("group", Hls_util.Json.Str r.R.group);
+            ("descr", Hls_util.Json.Str r.R.descr);
+          ]
+      in
+      let pipeline_obj (name, (p : P.pipeline)) =
+        Hls_util.Json.Obj
+          [
+            ("name", Hls_util.Json.Str name);
+            ( "passes",
+              Hls_util.Json.Arr
+                (List.map (fun n -> Hls_util.Json.Str n) p.P.passes) );
+            ("fold_facts", Hls_util.Json.Bool p.P.fold_facts);
+            ( "extract",
+              match p.P.extract with
+              | None -> Hls_util.Json.Null
+              | Some o -> Hls_util.Json.Str (E.objective_to_string o) );
+          ]
+      in
+      print_string
+        (Hls_util.Json.to_string
+           (Hls_util.Json.Obj
+              [
+                ("passes", Hls_util.Json.Arr (List.map pass_obj P.all));
+                ("rules", Hls_util.Json.Arr (List.map rule_obj R.all));
+                ( "pipelines",
+                  Hls_util.Json.Arr (List.map pipeline_obj P.named_pipelines) );
+              ]))
+    else begin
+      print_endline "passes (use with --passes PASS,PASS,...):";
+      List.iter (fun (p : P.t) -> Printf.printf "  %-22s %s\n" p.P.name p.P.descr) P.all;
+      print_endline "";
+      print_endline "rewrite rules (pass rule:NAME, or a whole group as rules:GROUP):";
+      List.iter
+        (fun g ->
+          Printf.printf "  group %s:\n" g;
+          List.iter
+            (fun (r : R.t) -> Printf.printf "    %-20s %s\n" r.R.name r.R.descr)
+            (R.group g))
+        R.groups;
+      print_endline "";
+      print_endline "named pipelines (modifiers: +facts, +extract:area, +extract:latency):";
+      List.iter
+        (fun (name, (p : P.pipeline)) ->
+          let mods =
+            (if p.P.fold_facts then [ "facts" ] else [])
+            @
+            match p.P.extract with
+            | None -> []
+            | Some o -> [ "extract:" ^ E.objective_to_string o ]
+          in
+          Printf.printf "  %-12s = %s%s\n" name
+            (if p.P.passes = [] then "(no passes)" else String.concat "," p.P.passes)
+            (if mods = [] then "" else " + " ^ String.concat " + " mods))
+        P.named_pipelines
+    end
+  in
+  let info =
+    Cmd.info "passes"
+      ~doc:
+        "List the registered optimization passes, the declarative rewrite rules \
+         behind them (with their groups), and the named pipelines a \
+         $(b,--passes) spec can start from. $(b,--json) emits the same \
+         catalogue as JSON."
+  in
+  Cmd.v info Term.(const run $ json_flag)
+
 (* ---- examples ---- *)
 
 let examples_cmd =
@@ -832,5 +965,5 @@ let () =
        (Cmd.group info
           [
             synth_cmd; dse_cmd; explore_cmd; lint_cmd; analyze_cmd; trace_cmd; run_cmd;
-            serve_cmd; examples_cmd;
+            serve_cmd; passes_cmd; examples_cmd;
           ]))

@@ -15,7 +15,7 @@ let compute_steps src ~level ~limits ~extra_passes =
   let cfg =
     List.fold_left
       (fun cfg name ->
-        let pass = Hls_transform.Passes.find name in
+        let pass = Hls_transform.Passes.find_exn name in
         let cfg, _ = pass.Hls_transform.Passes.run ~outputs cfg in
         cfg)
       cfg extra_passes

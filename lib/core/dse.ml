@@ -7,7 +7,7 @@ open Hls_sched
    persist   (binary, source, verify, canonical options)  — only with
              [config.cache_dir]; backed by the on-disk store
    frontend  ()                                            — per engine
-   midend    (opt_level, if_conversion)
+   midend    (canonical pipeline spec, if_conversion)
    schedule  midend key + (scheduler, canonical limits)
    backend   midend key + (schedule digest, allocator,
                            share_variables, encoding)
@@ -44,7 +44,12 @@ open Hls_sched
    the lock) must never leave the lock held — in a long-lived serve
    daemon that would wedge every future request, not just this one. *)
 
-type mkey = [ `None | `Standard | `Aggressive ] * bool
+(* The pipeline participates as its canonical string form: equal specs
+   print equally, so two points differing only in spelling (e.g. the
+   standard pass list written out by hand) share the midend, while any
+   semantic difference — pass set, fact folding, extraction objective —
+   is a distinct key. *)
+type mkey = string (* Passes.pipeline_to_string *) * bool
 type skey = mkey * Flow.scheduler * Limits.t
 
 type bkey =
@@ -240,7 +245,7 @@ let memo t name ctr tbl key compute =
 
 let point_args (options : Flow.options) =
   [
-    ("opt_level", Flow.opt_level_to_string options.opt_level);
+    ("passes", Hls_transform.Passes.pipeline_to_string options.passes);
     ("if_conversion", string_of_bool options.if_conversion);
     ("scheduler", Flow.scheduler_to_string options.scheduler);
     ("limits", Limits.to_string options.limits);
@@ -265,11 +270,12 @@ let eval_stages t (options : Flow.options) =
         | `Src s -> Flow.frontend s
         | `Ast a -> Flow.frontend_program a)
   in
-  let mkey = (options.opt_level, options.if_conversion) in
+  let mkey =
+    (Hls_transform.Passes.pipeline_to_string options.passes, options.if_conversion)
+  in
   let o =
     memo t "midend" t.n_mid t.mid mkey (fun () ->
-        Flow.midend ~opt_level:options.opt_level
-          ~if_conversion:options.if_conversion c)
+        Flow.midend ~passes:options.passes ~if_conversion:options.if_conversion c)
   in
   let skey = (mkey, options.scheduler, (canonical_options options).Flow.limits) in
   let sched =

@@ -6,7 +6,7 @@
 
     - {e frontend} (parse/inline/typecheck) runs once per engine;
     - {e midend} (CFG build + optimization) once per
-      [(opt_level, if_conversion)];
+      [(canonical pipeline spec, if_conversion)];
     - {e schedule} once per midend key + [(scheduler, limits)], with
       the limits canonicalized away for schedulers that ignore them
       ({!Flow.scheduler_ignores_limits});

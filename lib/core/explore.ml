@@ -45,15 +45,24 @@ let run_points ~config ~engine src labelled =
       | Error ds -> raise (Flow.Lint_failed ds))
     labelled results
 
-let cross ~base ~schedulers ~limits =
+let cross ?(pipelines = []) ~base ~schedulers ~limits () =
+  let pipelines = if pipelines = [] then [ base.Flow.passes ] else pipelines in
+  let many = List.length pipelines > 1 in
   List.concat_map
-    (fun s ->
-      List.map
-        (fun l ->
-          ( Flow.scheduler_to_string s ^ " @ " ^ Limits.to_string l,
-            { base with Flow.scheduler = s; Flow.limits = l } ))
-        limits)
-    schedulers
+    (fun p ->
+      List.concat_map
+        (fun s ->
+          List.map
+            (fun l ->
+              let label =
+                Flow.scheduler_to_string s ^ " @ " ^ Limits.to_string l
+                ^
+                if many then " / " ^ Hls_transform.Passes.pipeline_to_string p else ""
+              in
+              (label, { base with Flow.scheduler = s; Flow.limits = l; Flow.passes = p }))
+            limits)
+        schedulers)
+    pipelines
 
 let sweep_limits ?(config = Dse.default_config) ?engine ?(base = Flow.default_options)
     ?(limits = default_limits) src =
@@ -68,8 +77,8 @@ let sweep_schedulers ?(config = Dse.default_config) ?engine
        schedulers)
 
 let sweep ?(config = Dse.default_config) ?engine ?(base = Flow.default_options)
-    ?(schedulers = default_schedulers) ?(limits = default_limits) src =
-  run_points ~config ~engine src (cross ~base ~schedulers ~limits)
+    ?(schedulers = default_schedulers) ?(limits = default_limits) ?pipelines src =
+  run_points ~config ~engine src (cross ?pipelines ~base ~schedulers ~limits ())
 
 (* ---- pareto frontier ---- *)
 
@@ -437,7 +446,7 @@ type pruned_sweep = {
 let backend_class (options : Flow.options) sched =
   String.concat "|"
     [
-      Flow.opt_level_to_string options.Flow.opt_level;
+      Hls_transform.Passes.pipeline_to_string options.Flow.passes;
       string_of_bool options.Flow.if_conversion;
       Cfg_sched.digest sched;
       Flow.allocator_to_string options.Flow.allocator;
@@ -558,5 +567,5 @@ let run_points_pruned ~config ~engine src labelled =
   { evaluated; pruned; rounds = !rounds }
 
 let sweep_pruned ?(config = Dse.default_config) ?engine ?(base = Flow.default_options)
-    ?(schedulers = default_schedulers) ?(limits = default_limits) src =
-  run_points_pruned ~config ~engine src (cross ~base ~schedulers ~limits)
+    ?(schedulers = default_schedulers) ?(limits = default_limits) ?pipelines src =
+  run_points_pruned ~config ~engine src (cross ?pipelines ~base ~schedulers ~limits ())

@@ -50,10 +50,22 @@ val sweep :
   ?base:Flow.options ->
   ?schedulers:Flow.scheduler list ->
   ?limits:Hls_sched.Limits.t list ->
+  ?pipelines:Hls_transform.Passes.pipeline list ->
   string ->
   point list
-(** Full scheduler × limits cross product (default 8 × 5 = 40 points),
-    labelled ["scheduler @ limits"]. *)
+(** Full pipelines × scheduler × limits cross product (default 1 × 8 ×
+    5 = 40 points), labelled ["scheduler @ limits"] — with
+    [" / pipeline"] appended when more than one pipeline sweeps.
+    [pipelines] defaults to just the base options' spec. *)
+
+val cross :
+  ?pipelines:Hls_transform.Passes.pipeline list ->
+  base:Flow.options ->
+  schedulers:Flow.scheduler list ->
+  limits:Hls_sched.Limits.t list ->
+  unit ->
+  (string * Flow.options) list
+(** The labelled option points a {!sweep} evaluates. *)
 
 type pruned_point = {
   pr_label : string;
@@ -77,6 +89,7 @@ val sweep_pruned :
   ?base:Flow.options ->
   ?schedulers:Flow.scheduler list ->
   ?limits:Hls_sched.Limits.t list ->
+  ?pipelines:Hls_transform.Passes.pipeline list ->
   string ->
   pruned_sweep
 (** The scheduler × limits cross product under pareto-guided successive

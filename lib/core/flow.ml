@@ -33,18 +33,13 @@ let scheduler_to_string = function
   | Trans_parallel -> "transformational/parallel"
   | Trans_serial -> "transformational/serial"
 
-let opt_level_to_string = function
-  | `None -> "none"
-  | `Standard -> "standard"
-  | `Aggressive -> "aggressive"
-
 let allocator_to_string = function
   | `Clique -> "clique"
   | `Greedy_min_mux -> "min-mux"
   | `Greedy_first_fit -> "first-fit"
 
 type options = {
-  opt_level : [ `None | `Standard | `Aggressive ];
+  passes : Hls_transform.Passes.pipeline;
   if_conversion : bool;
   scheduler : scheduler;
   limits : Limits.t;
@@ -58,7 +53,7 @@ type options = {
 
 let default_options =
   {
-    opt_level = `Standard;
+    passes = Hls_transform.Passes.default_pipeline;
     if_conversion = false;
     scheduler = List_path;
     limits = Limits.two_fu;
@@ -133,35 +128,69 @@ let frontend_program ast = Hls_obs.Trace.with_span "frontend" (fun () -> front a
 let frontend src = Hls_obs.Trace.with_span "frontend" (fun () -> front (Parser.parse src))
 let compiled_of_typed tprog = { c_prog = tprog }
 
-let midend ~opt_level ~if_conversion c =
+(* Fact oracle for guarded rewrite rules: range-proven non-negativity.
+   Recomputed per optimizer consultation (rewrites renumber node ids)
+   and only forced when a guarded rule actually asks — pipelines without
+   the algebraic rules never pay for the analysis. *)
+let nonneg_oracle ~ports cfg =
+  let facts = Hls_analysis.Range.analyze ~ports cfg in
+  fun bid nid ->
+    match Hls_analysis.Range.node_range facts ~bid ~nid with
+    | Some a -> a.Hls_analysis.Range.iv.Hls_util.Interval.lo >= 0
+    | None -> false
+
+(* Extraction cost derived from the RTL component library: cheapest
+   component of each class, delays in picoseconds. *)
+let component_cost =
+  let by_class cls =
+    List.filter (fun c -> c.Hls_rtl.Component.cls = cls) Hls_rtl.Component.library
+  in
+  let class_area cls ~width =
+    match by_class cls with
+    | [] -> 0
+    | cs -> List.fold_left (fun acc c -> min acc (Hls_rtl.Component.area c ~width)) max_int cs
+  in
+  let class_delay_ps cls =
+    match by_class cls with
+    | [] -> 0
+    | cs ->
+        int_of_float
+          (1000.0
+          *. List.fold_left (fun acc c -> min acc c.Hls_rtl.Component.delay_ns) infinity cs)
+  in
+  { Hls_transform.Extract.class_area; class_delay_ps }
+
+let midend ~passes ~if_conversion c =
   Hls_obs.Trace.with_span "midend"
     ~args:
       [
-        ("opt_level", opt_level_to_string opt_level);
+        ("passes", Hls_transform.Passes.pipeline_to_string passes);
         ("if_conversion", string_of_bool if_conversion);
       ]
     (fun () ->
       let prog = c.c_prog in
       let cfg0 = Hls_cdfg.Compile.compile prog in
       let outputs = output_names prog in
-      let cfg = Hls_transform.Passes.optimize ~level:opt_level ~outputs cfg0 in
+      let ports = ports_of prog in
+      let optimize cfg =
+        Hls_transform.Passes.run_spec ~nonneg:(nonneg_oracle ~ports) ~cost:component_cost
+          ~outputs passes cfg
+      in
+      let cfg = optimize cfg0 in
       let cfg =
         if if_conversion then begin
           let cfg, changed = Hls_transform.If_convert.run cfg in
-          if changed then
-            Hls_transform.Passes.optimize ~level:opt_level ~outputs
-              (fst (Hls_transform.Clean_cfg.merge cfg))
-          else cfg
+          if changed then optimize (fst (Hls_transform.Clean_cfg.merge cfg)) else cfg
         end
         else cfg
       in
-      (* aggressive level: feed range-proven constants back into the
-         folder — values the interval analysis pins down across blocks
-         (per-block folding cannot see them) become constants, and proven
-         branches become gotos *)
+      (* fact folding (aggressive and up): feed range-proven constants
+         back into the folder — values the interval analysis pins down
+         across blocks (per-block folding cannot see them) become
+         constants, and proven branches become gotos *)
       let cfg =
-        if opt_level = `Aggressive then begin
-          let facts = Hls_analysis.Range.analyze ~ports:(ports_of prog) cfg in
+        if passes.Hls_transform.Passes.fold_facts then begin
+          let facts = Hls_analysis.Range.analyze ~ports cfg in
           let value bid nid =
             match Hls_analysis.Range.node_range facts ~bid ~nid with
             | Some a -> Hls_analysis.Range.is_singleton a
@@ -169,7 +198,7 @@ let midend ~opt_level ~if_conversion c =
           in
           if Hls_transform.Const_fold.apply_facts cfg ~value then begin
             Hls_obs.Trace.incr "range/folds";
-            Hls_transform.Passes.optimize ~level:opt_level ~outputs cfg
+            optimize cfg
           end
           else cfg
         end
@@ -384,17 +413,17 @@ let backend_result ?verify options o =
 
 let run ?verify options tprog =
   backend_result ?verify options
-    (midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion
+    (midend ~passes:options.passes ~if_conversion:options.if_conversion
        (compiled_of_typed tprog))
 
 let synthesize_program_result ?(options = default_options) ?verify ast =
   backend_result ?verify options
-    (midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion
+    (midend ~passes:options.passes ~if_conversion:options.if_conversion
        (frontend_program ast))
 
 let synthesize_result ?(options = default_options) ?verify src =
   backend_result ?verify options
-    (midend ~opt_level:options.opt_level ~if_conversion:options.if_conversion
+    (midend ~passes:options.passes ~if_conversion:options.if_conversion
        (frontend src))
 
 (* ---- legacy raising wrappers ---------------------------------------- *)

@@ -28,11 +28,13 @@ type scheduler =
   | Trans_serial
 
 val scheduler_to_string : scheduler -> string
-val opt_level_to_string : [ `None | `Standard | `Aggressive ] -> string
 val allocator_to_string : [ `Clique | `Greedy_min_mux | `Greedy_first_fit ] -> string
 
 type options = {
-  opt_level : [ `None | `Standard | `Aggressive ];
+  passes : Hls_transform.Passes.pipeline;
+      (** optimization pipeline spec; canonical string form via
+          {!Hls_transform.Passes.pipeline_to_string} (legacy levels map
+          through {!Hls_transform.Passes.level}) *)
   if_conversion : bool;  (** speculate small branch diamonds into muxes *)
   scheduler : scheduler;
   limits : Limits.t;
@@ -67,7 +69,7 @@ type design = {
 
     The flow is exposed as reusable stages so the DSE engine can share
     work between option points: the frontend result depends only on the
-    source, the midend result only on [(source, opt_level,
+    source, the midend result only on [(source, passes,
     if_conversion)], and the schedule only additionally on [(scheduler,
     limits)] — everything downstream of a stage is a pure function of
     that stage's output plus the remaining option fields. Each stage
@@ -91,15 +93,29 @@ val compiled_of_typed : Typed.tprogram -> compiled
 (** Wrap an already-typechecked program, skipping the frontend. *)
 
 val midend :
-  opt_level:[ `None | `Standard | `Aggressive ] ->
+  passes:Hls_transform.Passes.pipeline ->
   if_conversion:bool ->
   compiled ->
   optimized
-(** Build the CFG and run the optimization passes (plus optional
-    if-conversion with re-optimization). Compiles a fresh CFG each
-    call — passes mutate in place — so distinct [optimized] values
-    never alias; the result is only ever read downstream and may be
-    shared across worker domains. *)
+(** Build the CFG and run the pipeline's passes (plus optional
+    if-conversion with re-optimization, fact folding when the spec asks
+    for it, and cost-guided extraction under the component-library cost
+    model). Compiles a fresh CFG each call — passes mutate in place —
+    so distinct [optimized] values never alias; the result is only ever
+    read downstream and may be shared across worker domains. *)
+
+val nonneg_oracle :
+  ports:(string * [ `In | `Out ] * Ast.ty) list ->
+  Hls_cdfg.Cfg.t ->
+  Hls_cdfg.Cfg.bid ->
+  Hls_cdfg.Dfg.nid ->
+  bool
+(** Range-analysis fact oracle handed to the guarded rewrite rules
+    (division by a power of two needs a proven non-negative numerator). *)
+
+val component_cost : Hls_transform.Extract.cost
+(** Extraction cost model derived from {!Hls_rtl.Component.library}:
+    cheapest component per class, delays in picoseconds. *)
 
 val schedule : options -> optimized -> Cfg_sched.t
 (** Schedule every block with [options.scheduler] under

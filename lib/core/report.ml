@@ -17,11 +17,8 @@ let summary (d : Flow.design) =
   let buf = Buffer.create 2048 in
   let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
   out "=== synthesis report: %s ===\n" d.Flow.prog.Hls_lang.Typed.tname;
-  out "options: opt=%s, scheduler=%s, limits=%s, allocator=%s, encoding=%s\n"
-    (match d.Flow.options.Flow.opt_level with
-    | `None -> "none"
-    | `Standard -> "standard"
-    | `Aggressive -> "aggressive")
+  out "options: passes=%s, scheduler=%s, limits=%s, allocator=%s, encoding=%s\n"
+    (Hls_transform.Passes.pipeline_to_string d.Flow.options.Flow.passes)
     (Flow.scheduler_to_string d.Flow.options.Flow.scheduler)
     (Hls_sched.Limits.to_string d.Flow.options.Flow.limits)
     (match d.Flow.options.Flow.allocator with

@@ -9,10 +9,18 @@
    Requests are objects with a "cmd" field — synth | dse | lint |
    ping | stats | shutdown — a source ("source" inline text or
    "workload" built-in name) where one is needed, and an "options"
-   object using exactly the CLI vocabulary (opt_level, if_convert,
+   object using exactly the CLI vocabulary (passes, if_convert,
    scheduler, fus, allocator, encoding), so anything expressible as
    `hlsc synth` flags is expressible as a serve request. Responses
-   carry "status" ok | busy | error plus a per-request trace span id.
+   carry "status" ok | busy | error plus a per-request trace span id
+   and the protocol version under "proto".
+
+   Versioning: protocol 2 renamed the options' "opt_level" enum to the
+   "passes" pipeline spec string. The decoder still accepts the legacy
+   "opt_level" field (mapped through Passes.level) so protocol-1
+   clients keep working; a client may send "proto": N to assert the
+   version it speaks, and the daemon rejects requests from the future
+   rather than silently dropping fields it does not know.
 
    I/O here is over raw Unix file descriptors, not channels: a channel
    pair wrapping one socket fd would double-close it (and possibly a
@@ -20,6 +28,9 @@
 
 module J = Hls_util.Json
 module Flow = Hls_core.Flow
+module Passes = Hls_transform.Passes
+
+let version = 2
 
 (* ---- framing ---- *)
 
@@ -140,7 +151,18 @@ let options_of_json json =
     | None -> Ok default
     | Some s -> enum_of_string ~what:name table s
   in
-  let* opt_level = field "opt_level" opt_levels `Standard in
+  let* passes =
+    match J.str_member "passes" json with
+    | Some spec -> Passes.pipeline_of_string spec
+    | None -> (
+        (* protocol 1 compatibility: the closed opt_level enum maps to
+           its named pipeline *)
+        match J.str_member "opt_level" json with
+        | None -> Ok Passes.default_pipeline
+        | Some s ->
+            let* l = enum_of_string ~what:"opt_level" opt_levels s in
+            Ok (Passes.level l))
+  in
   let* scheduler = field "scheduler" schedulers Flow.List_path in
   let* allocator = field "allocator" allocators `Greedy_min_mux in
   let* encoding = field "encoding" encodings Hls_ctrl.Encoding.Binary in
@@ -149,7 +171,7 @@ let options_of_json json =
   let fus = Option.value ~default:2 (J.int_member "fus" json) in
   Ok
     {
-      Flow.opt_level;
+      Flow.passes;
       if_conversion;
       scheduler;
       limits = limits_of_fus fus;
@@ -164,7 +186,7 @@ let key_of table v = fst (List.find (fun (_, x) -> x = v) table)
 let options_to_json (o : Flow.options) =
   J.Obj
     [
-      ("opt_level", J.Str (Flow.opt_level_to_string o.Flow.opt_level));
+      ("passes", J.Str (Passes.pipeline_to_string o.Flow.passes));
       ("if_convert", J.Bool o.Flow.if_conversion);
       ("scheduler", J.Str (key_of schedulers o.Flow.scheduler));
       ("fus", J.of_int (fus_of_limits o.Flow.limits));
@@ -207,6 +229,13 @@ let request_of_json json =
     match J.member "options" json with
     | None -> Ok Flow.default_options
     | Some o -> options_of_json o
+  in
+  let* () =
+    match J.int_member "proto" json with
+    | Some v when v > version ->
+        Error
+          (Printf.sprintf "request speaks protocol %d, this daemon speaks %d" v version)
+    | _ -> Ok ()
   in
   match J.str_member "cmd" json with
   | None -> Error "request needs a \"cmd\" field"
@@ -257,7 +286,9 @@ let request_of_json json =
 (* ---- responses ---- *)
 
 let response ~status ~span fields =
-  J.Obj (("status", J.Str status) :: ("span", J.of_int span) :: fields)
+  J.Obj
+    (("status", J.Str status) :: ("proto", J.of_int version) :: ("span", J.of_int span)
+    :: fields)
 
 let ok ~span fields = response ~status:"ok" ~span fields
 

@@ -5,13 +5,19 @@
     payload bytes. Requests are objects with a ["cmd"] of [synth], [dse],
     [lint], [ping], [stats] or [shutdown]; a source as inline ["source"]
     text or a built-in ["workload"] name; and an ["options"] object
-    spelled in the CLI flag vocabulary ([opt_level], [if_convert],
+    spelled in the CLI flag vocabulary ([passes], [if_convert],
     [scheduler], [fus], [allocator], [encoding]). Responses carry a
-    ["status"] of [ok], [busy] or [error] and the request's trace span
-    id. *)
+    ["status"] of [ok], [busy] or [error], the protocol [version] under
+    ["proto"], and the request's trace span id. *)
 
 module J = Hls_util.Json
 module Flow = Hls_core.Flow
+
+val version : int
+(** Protocol version (2: pipeline-spec ["passes"] replaced the closed
+    ["opt_level"] enum, which the decoder still accepts; responses
+    advertise the version, and requests asserting a {e newer} ["proto"]
+    are rejected). *)
 
 (** {2 Framing} *)
 
@@ -47,8 +53,10 @@ type request =
 val request_of_json : J.t -> (request, string) result
 
 val options_of_json : J.t -> (Flow.options, string) result
-(** Missing fields take the CLI defaults (standard opt, list scheduler,
-    2 FUs, min-mux, binary). *)
+(** Missing fields take the CLI defaults (standard pipeline, list
+    scheduler, 2 FUs, min-mux, binary). ["passes"] is a pipeline spec
+    string; the legacy ["opt_level"] enum is still accepted when no
+    ["passes"] field is present. *)
 
 val options_to_json : Flow.options -> J.t
 

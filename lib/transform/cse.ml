@@ -1,23 +1,4 @@
-open Hls_cdfg
+(* Common subexpression elimination, expressed as the declarative
+   sharing rule in {!Rules}. *)
 
-(* The rule adds surviving nodes itself (returning [Subst]) so it can
-   record the id each structural key received in the new graph. *)
-let make_rule () : Rewrite.rule =
-  let table : (string, Dfg.nid) Hashtbl.t = Hashtbl.create 16 in
-  fun ~out ~remap:_ _id node ~mapped_args ->
-    match node.Dfg.op with
-    | Op.Write _ -> Rewrite.Copy
-    | op -> (
-        let key =
-          Printf.sprintf "%s(%s):%s" (Op.to_string op)
-            (String.concat "," (List.map string_of_int mapped_args))
-            (Hls_lang.Ast.ty_to_string node.Dfg.ty)
-        in
-        match Hashtbl.find_opt table key with
-        | Some nid -> Rewrite.Subst nid
-        | None ->
-            let nid = Dfg.add out op mapped_args node.Dfg.ty in
-            Hashtbl.add table key nid;
-            Rewrite.Subst nid)
-
-let run cfg = Rewrite.rewrite_all cfg ~rule:(fun _bid -> make_rule ())
+let run cfg = Rules.run_rules [ Rules.cse_node ] cfg

@@ -1,0 +1,39 @@
+(** Cost-guided extraction over the declarative rewrite rules.
+
+    Bounded e-graph-lite: per DFG, every {!Rules.extraction_rules}
+    right-hand side is materialized next to the node it rewrites, and a
+    0/1 program over {!Hls_util.Binprog} picks one member per choice
+    group minimizing an estimate-flavored area or latency cost —
+    shift/add decompositions are chosen exactly when they eliminate a
+    whole functional-unit class (or are strictly free), matching how
+    shared-FU hardware actually pays for operators. The losing side of
+    each choice is dropped by liveness and the block rebuilt. *)
+
+open Hls_cdfg
+
+type objective = [ `Area | `Latency ]
+
+val objective_to_string : objective -> string
+val objective_of_string : string -> objective option
+
+(** Per-class cost oracle. [class_area] is the cheapest component of the
+    class at the given operand width; [class_delay_ps] its propagation
+    delay. {!default_cost} has stand-in figures; {!Hls_core.Flow}
+    injects numbers derived from the RTL component library. *)
+type cost = {
+  class_area : Op.fu_class -> width:int -> int;
+  class_delay_ps : Op.fu_class -> int;
+}
+
+val default_cost : cost
+
+val run :
+  ?nonneg:(Cfg.t -> Cfg.bid -> Dfg.nid -> bool) ->
+  ?cost:cost ->
+  objective:objective ->
+  ?rules:Rules.t list ->
+  Cfg.t ->
+  bool
+(** Saturate + extract every block; returns whether anything changed.
+    Blocks where the program selects every original are left untouched
+    (the speculative candidate cones are discarded). *)

@@ -1,93 +1,12 @@
-open Hls_util
-open Hls_cdfg
-
-let fmt_of_ty (ty : Hls_lang.Ast.ty) =
-  match ty with
-  | Hls_lang.Ast.Tbool -> Fixedpt.format ~int_bits:1 ~frac_bits:0
-  | Hls_lang.Ast.Tint w -> Fixedpt.format ~int_bits:w ~frac_bits:0
-  | Hls_lang.Ast.Tfix (i, f) -> Fixedpt.format ~int_bits:i ~frac_bits:f
-
-let frac_bits (ty : Hls_lang.Ast.ty) =
-  match ty with Hls_lang.Ast.Tfix (_, f) -> f | Hls_lang.Ast.Tbool | Hls_lang.Ast.Tint _ -> 0
-
-(* If [v] (a positive pattern) is exactly 2^m, return m. *)
-let log2_exact v =
-  if v <= 0 then None
-  else begin
-    let rec loop m p = if p = v then Some m else if p > v then None else loop (m + 1) (p * 2) in
-    loop 0 1
-  end
-
-let const_of out nid = match Dfg.op out nid with Op.Const v -> Some v | _ -> None
-
-(* Split a commutative argument pair into (non-const, const value). *)
-let with_const out args =
-  match args with
-  | [ a; b ] -> (
-      match (const_of out a, const_of out b) with
-      | None, Some v -> Some (a, v)
-      | Some v, None -> Some (b, v)
-      | _ -> None)
-  | _ -> None
-
-(* Multiplying by constant 2^(m - frac) is a shift by |m - frac|.
-   Exactness: fixed multiply computes floor((a*c)/2^frac); with c = 2^m
-   that is floor(a * 2^(m-frac)), exactly what the arithmetic shift
-   computes in either direction. *)
-let shift_for_mul ty c =
-  match log2_exact c with
-  | None -> None
-  | Some m ->
-      let k = m - frac_bits ty in
-      if k = 0 then None (* multiplication by one; constant folding's job *)
-      else if k > 0 then Some (Op.Shl, k)
-      else Some (Op.Shr, -k)
-
-let make_rule ~allow_div_floor () : Rewrite.rule =
- fun ~out ~remap:_ _id node ~mapped_args ->
-  let ty = node.Dfg.ty in
-  let shift_amount_ty = Hls_lang.Ast.Tint 6 in
-  let emit_shift x (op, k) =
-    let amount = Dfg.add out (Op.Const k) [] shift_amount_ty in
-    Rewrite.Subst (Dfg.add out op [ x; amount ] ty)
-  in
-  let one = Fixedpt.of_int (fmt_of_ty ty) 1 in
-  match node.Dfg.op with
-  | Op.Mul -> (
-      match with_const out mapped_args with
-      | Some (x, v) -> (
-          match shift_for_mul ty v with
-          | Some shift -> emit_shift x shift
-          | None -> Rewrite.Copy)
-      | None -> Rewrite.Copy)
-  | Op.Div when allow_div_floor -> (
-      match mapped_args with
-      | [ x; c ] -> (
-          match const_of out c with
-          | Some v -> (
-              match log2_exact v with
-              | Some m ->
-                  let k = m - frac_bits ty in
-                  if k > 0 then emit_shift x (Op.Shr, k) else Rewrite.Copy
-              | None -> Rewrite.Copy)
-          | None -> Rewrite.Copy)
-      | _ -> Rewrite.Copy)
-  | Op.Add -> (
-      match with_const out mapped_args with
-      | Some (x, v) when v = one -> Rewrite.Subst (Dfg.add out Op.Incr [ x ] ty)
-      | _ -> Rewrite.Copy)
-  | Op.Sub -> (
-      match mapped_args with
-      | [ x; c ] -> (
-          match const_of out c with
-          | Some v when v = one -> Rewrite.Subst (Dfg.add out Op.Decr [ x ] ty)
-          | _ -> Rewrite.Copy)
-      | _ -> Rewrite.Copy)
-  | Op.Cmp Op.Ceq -> (
-      match with_const out mapped_args with
-      | Some (x, 0) -> Rewrite.Subst (Dfg.add out Op.Zdetect [ x ] Hls_lang.Ast.Tbool)
-      | _ -> Rewrite.Copy)
-  | _ -> Rewrite.Copy
+(* The strength-reduction rewrites live declaratively in {!Rules}
+   (group "strength"); this module keeps the historical entry point.
+   [allow_div_floor] maps to the guarded division rule with an
+   always-true fact oracle — the caller asserts non-negativity. *)
 
 let run ?(allow_div_floor = false) cfg =
-  Rewrite.rewrite_all cfg ~rule:(fun _bid -> make_rule ~allow_div_floor ())
+  if allow_div_floor then
+    Rules.run_rules
+      ~nonneg:(fun _ _ _ -> true)
+      (Rules.group "strength" @ [ Rules.div_pow2_shift ])
+      cfg
+  else Rules.run_rules (Rules.group "strength") cfg

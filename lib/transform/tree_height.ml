@@ -1,59 +1,4 @@
-open Hls_cdfg
+(* Tree-height reduction, expressed as the declarative rebalancing rule
+   in {!Rules}. *)
 
-let assoc_ok (op : Op.t) (ty : Hls_lang.Ast.ty) =
-  match (op, ty) with
-  | Op.Add, (Hls_lang.Ast.Tint _ | Hls_lang.Ast.Tfix _) -> true
-  | Op.Mul, Hls_lang.Ast.Tint _ -> true
-  | (Op.And | Op.Or | Op.Xor), _ -> true
-  | _ -> false
-
-let rewrite_one_block g =
-  let users = Dfg.users g in
-  let node_op id = (Dfg.node g id).Dfg.op in
-  let node_ty id = (Dfg.node g id).Dfg.ty in
-  (* internal chain node: same associative op/ty as its unique user *)
-  let internal id =
-    assoc_ok (node_op id) (node_ty id)
-    && (match users.(id) with
-       | [ u ] -> Op.equal (node_op u) (node_op id) && node_ty u = node_ty id
-       | _ -> false)
-  in
-  let rec leaves id acc =
-    (* pre-order, left to right *)
-    List.fold_left
-      (fun acc a -> if internal a then leaves a acc else a :: acc)
-      acc (Dfg.args g id)
-  in
-  let is_root id =
-    assoc_ok (node_op id) (node_ty id)
-    && (not (internal id))
-    && List.exists internal (Dfg.args g id)
-  in
-  let rule : Rewrite.rule =
-   fun ~out ~remap id _node ~mapped_args:_ ->
-    if internal id then Rewrite.Drop
-    else if is_root id then begin
-      let op = node_op id and ty = node_ty id in
-      let old_leaves = List.rev (leaves id []) in
-      let mapped = List.map (fun l -> remap.(l)) old_leaves in
-      let rec pairup = function
-        | [] -> []
-        | [ x ] -> [ x ]
-        | a :: b :: rest -> Dfg.add out op [ a; b ] ty :: pairup rest
-      in
-      let rec reduce = function
-        | [ x ] -> x
-        | xs -> reduce (pairup xs)
-      in
-      Rewrite.Subst (reduce mapped)
-    end
-    else Rewrite.Copy
-  in
-  rule
-
-let run cfg =
-  List.fold_left
-    (fun acc bid ->
-      let rule = rewrite_one_block (Cfg.dfg cfg bid) in
-      Rewrite.rewrite_block cfg bid ~rule || acc)
-    false (Cfg.block_ids cfg)
+let run cfg = Rules.run_rules [ Rules.add_rebalance ] cfg

@@ -166,7 +166,7 @@ let scheduled_sqrt () =
   let _, cfg = Compile.compile_source Hls_core.Workloads.sqrt_newton in
   let cfg =
     Hls_transform.Passes.run_pipeline ~outputs:[ "y" ]
-      (Hls_transform.Passes.standard @ [ Hls_transform.Passes.find "loop-recode" ])
+      (Hls_transform.Passes.standard @ [ Hls_transform.Passes.find_exn "loop-recode" ])
       cfg
   in
   Cfg_sched.make cfg ~scheduler:(List_sched.schedule ~limits:Limits.two_fu)

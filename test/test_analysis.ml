@@ -159,7 +159,9 @@ let test_width_full_shift () =
 let test_range_fold_cosim () =
   List.iter
     (fun (name, src) ->
-      let options = { Flow.default_options with Flow.opt_level = `Aggressive } in
+      let options =
+        { Flow.default_options with Flow.passes = Hls_transform.Passes.level `Aggressive }
+      in
       let d = Flow.synthesize ~options src in
       match Flow.verify ~runs:3 d with
       | Ok () -> ()

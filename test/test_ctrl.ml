@@ -110,7 +110,7 @@ let sqrt_cs () =
   let _, cfg = Hls_cdfg.Compile.compile_source Hls_core.Workloads.sqrt_newton in
   let cfg =
     Hls_transform.Passes.run_pipeline ~outputs:[ "y" ]
-      (Hls_transform.Passes.standard @ [ Hls_transform.Passes.find "loop-recode" ])
+      (Hls_transform.Passes.standard @ [ Hls_transform.Passes.find_exn "loop-recode" ])
       cfg
   in
   Cfg_sched.make cfg ~scheduler:(List_sched.schedule ~limits:Limits.two_fu)

@@ -179,6 +179,77 @@ let test_cache_accounting () =
     (total s3.Dse.frontend + total s3.Dse.midend + total s3.Dse.schedule
    + total s3.Dse.backend)
 
+(* ---- pipeline specs as cache keys ---- *)
+
+module P = Hls_transform.Passes
+
+let pipeline spec =
+  match P.pipeline_of_string spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "pipeline %S: %s" spec e
+
+let popts spec = { Flow.default_options with Flow.passes = pipeline spec }
+
+let test_pipeline_roundtrip () =
+  List.iter
+    (fun s ->
+      let p = pipeline s in
+      let c = P.pipeline_to_string p in
+      match P.pipeline_of_string c with
+      | Error e -> Alcotest.failf "canonical %S of %S: %s" c s e
+      | Ok p' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S -> %S round-trips" s c)
+            true (p = p'))
+    [
+      "none"; "standard"; "aggressive"; "extract"; "standard+facts";
+      "none+extract:latency"; "aggressive+extract:area"; "forward,cse,dce";
+      "const-fold"; "rule:mul-const-chain"; "rules:strength,dce";
+    ]
+
+let test_pipeline_canonical_names () =
+  let canon s = P.pipeline_to_string (pipeline s) in
+  Alcotest.(check string) "named spec prints as its name" "standard" (canon "standard");
+  Alcotest.(check string) "spelled-out standard canonicalizes" "standard"
+    (canon "forward,const-fold,cse,strength,dce");
+  Alcotest.(check string) "modifier survives canonicalization" "standard+extract:latency"
+    (canon "standard+extract:latency")
+
+let test_pipeline_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match P.pipeline_of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "bogus"; "cse,bogus"; "standard+nope"; "standard+extract:speed" ]
+
+let test_pipeline_memo_sensitivity () =
+  (* same source, different --passes: never the same cache entry *)
+  let engine = Dse.create Workloads.sqrt_newton in
+  let d_none = Dse.eval engine (popts "none") in
+  let d_std = Dse.eval engine (popts "standard") in
+  let s = Dse.stats engine in
+  Alcotest.(check int) "distinct pipelines miss separately" 2 s.Dse.midend.Dse.misses;
+  Alcotest.(check bool) "designs differ" true (signature d_none <> signature d_std);
+  (* the same spec spelled differently is the same key *)
+  let d_std2 = Dse.eval engine (popts "forward,const-fold,cse,strength,dce") in
+  let s2 = Dse.stats engine in
+  Alcotest.(check int) "equal spec shares the entry" 2 s2.Dse.midend.Dse.misses;
+  Alcotest.(check bool) "same design back" true (signature d_std = signature d_std2)
+
+let test_pipeline_disk_sensitivity () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hlsc_dse_pipe_%d" (Unix.getpid ()))
+  in
+  let config = { Dse.default_config with Dse.cache_dir = Some dir } in
+  let e = Dse.create ~config Workloads.gcd in
+  ignore (Dse.eval e (popts "none"));
+  ignore (Dse.eval e (popts "extract"));
+  Alcotest.(check int) "two pipelines, two disk entries" 2
+    (List.length (Disk_cache.entries ~dir))
+
 (* ---- pruned sweeps ---- *)
 
 let psig (p : Explore.point) = (p.Explore.label, signature p.Explore.design)
@@ -298,6 +369,14 @@ let () =
           Alcotest.test_case "sweep deterministic across jobs" `Quick test_sweep_deterministic;
           Alcotest.test_case "points keep their options" `Quick test_point_keeps_own_options;
           Alcotest.test_case "cache accounting" `Quick test_cache_accounting;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "spec round-trip" `Quick test_pipeline_roundtrip;
+          Alcotest.test_case "canonical names" `Quick test_pipeline_canonical_names;
+          Alcotest.test_case "rejects garbage" `Quick test_pipeline_rejects_garbage;
+          Alcotest.test_case "memo key sensitivity" `Quick test_pipeline_memo_sensitivity;
+          Alcotest.test_case "disk key sensitivity" `Quick test_pipeline_disk_sensitivity;
         ] );
       ( "pruned",
         [

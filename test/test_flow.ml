@@ -49,13 +49,18 @@ let test_opt_level_grid () =
     (fun name ->
       let src = Workloads.find name in
       List.iter
-        (fun opt_level ->
-          let options = { Flow.default_options with Flow.opt_level } in
+        (fun spec ->
+          let passes =
+            match Hls_transform.Passes.pipeline_of_string spec with
+            | Ok p -> p
+            | Error e -> Alcotest.failf "pipeline %S: %s" spec e
+          in
+          let options = { Flow.default_options with Flow.passes } in
           let d = Flow.synthesize ~options src in
           match Flow.verify ~runs:3 d with
           | Ok () -> ()
-          | Error e -> Alcotest.failf "%s: %s" name e)
-        [ `None; `Standard; `Aggressive ])
+          | Error e -> Alcotest.failf "%s under %s: %s" name spec e)
+        [ "none"; "standard"; "aggressive"; "extract"; "standard+extract:latency" ])
     fast_workloads
 
 let test_diffeq_full_default () =
@@ -96,8 +101,10 @@ let test_invalid_source_reported () =
 (* ---- optimization reduces or keeps cost ---- *)
 
 let test_optimization_improves_sqrt () =
-  let with_level opt_level =
-    Flow.synthesize ~options:{ Flow.default_options with Flow.opt_level } Workloads.sqrt_newton
+  let with_level l =
+    Flow.synthesize
+      ~options:{ Flow.default_options with Flow.passes = Hls_transform.Passes.level l }
+      Workloads.sqrt_newton
   in
   let none = with_level `None in
   let std = with_level `Standard in
@@ -107,7 +114,12 @@ let test_optimization_improves_sqrt () =
   (* the paper's headline: 23 serial unoptimized, 10 on two FUs optimized *)
   let serial_none =
     Flow.synthesize
-      ~options:{ Flow.default_options with Flow.opt_level = `None; Flow.limits = Limits.Serial }
+      ~options:
+        {
+          Flow.default_options with
+          Flow.passes = Hls_transform.Passes.level `None;
+          Flow.limits = Limits.Serial;
+        }
       Workloads.sqrt_newton
   in
   Alcotest.(check int) "serial unoptimized = 23" 23

@@ -101,7 +101,7 @@ let test_fig2_lengths () =
   let _, cfg2 = Compile.compile_source Hls_core.Workloads.sqrt_newton in
   let cfg2 =
     Hls_transform.Passes.run_pipeline ~outputs:[ "y" ]
-      (Hls_transform.Passes.standard @ [ Hls_transform.Passes.find "loop-recode" ])
+      (Hls_transform.Passes.standard @ [ Hls_transform.Passes.find_exn "loop-recode" ])
       cfg2
   in
   let cs2 = Cfg_sched.make cfg2 ~scheduler:(List_sched.schedule ~limits:Limits.two_fu) in

@@ -248,6 +248,77 @@ let test_handle_concurrent_deterministic () =
   Alcotest.(check int) "n-1 persist hits" (n - 1)
     (Trace.counter "dse/persist.hits" - persist_hit0)
 
+(* ---- protocol: pipeline specs and versioning ---- *)
+
+module P = Hls_transform.Passes
+
+let test_proto_passes_codec () =
+  let passes =
+    match P.pipeline_of_string "aggressive+extract:latency" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let opts = { Flow.default_options with Flow.passes } in
+  let j = Serve.Proto.options_to_json opts in
+  Alcotest.(check (option string)) "canonical spec emitted"
+    (Some "aggressive+extract:latency") (J.str_member "passes" j);
+  match Serve.Proto.options_of_json j with
+  | Ok o -> Alcotest.(check bool) "codec round-trip" true (o.Flow.passes = passes)
+  | Error e -> Alcotest.fail e
+
+let test_proto_legacy_opt_level () =
+  (* protocol-1 clients still speak opt_level *)
+  match Serve.Proto.options_of_json (J.Obj [ ("opt_level", J.Str "aggressive") ]) with
+  | Ok o ->
+      Alcotest.(check bool) "maps to the aggressive pipeline" true
+        (o.Flow.passes = P.level `Aggressive)
+  | Error e -> Alcotest.fail e
+
+let test_proto_bad_spec () =
+  (match Serve.Proto.options_of_json (J.Obj [ ("passes", J.Str "standard+bogus") ]) with
+  | Ok _ -> Alcotest.fail "accepted a bogus modifier"
+  | Error _ -> ());
+  match Serve.Proto.options_of_json (J.Obj [ ("passes", J.Str "cse,stregth") ]) with
+  | Ok _ -> Alcotest.fail "accepted a misspelled pass"
+  | Error e ->
+      (* the typed find error surfaces its suggestion through the wire *)
+      Alcotest.(check bool) "error suggests the pass" true
+        (let lh = String.length e and n = "strength" in
+         let ln = String.length n in
+         let rec go i = i + ln <= lh && (String.sub e i ln = n || go (i + 1)) in
+         go 0)
+
+let test_proto_versioning () =
+  let t = Serve.Server.create () in
+  let r = Serve.Server.handle t (synth_req ()) in
+  Alcotest.(check (option int)) "response advertises the protocol"
+    (Some Serve.Proto.version) (J.int_member "proto" r);
+  let ping proto = J.Obj [ ("cmd", J.Str "ping"); ("proto", J.of_int proto) ] in
+  Alcotest.(check string) "current version accepted" "ok"
+    (str_field "status" (Serve.Server.handle t (ping Serve.Proto.version)));
+  Alcotest.(check string) "older version accepted" "ok"
+    (str_field "status" (Serve.Server.handle t (ping 1)));
+  Alcotest.(check string) "future version refused" "error"
+    (str_field "status" (Serve.Server.handle t (ping (Serve.Proto.version + 1))))
+
+let test_proto_synth_with_passes () =
+  let t = Serve.Server.create () in
+  let req =
+    J.Obj
+      [
+        ("cmd", J.Str "synth");
+        ("workload", J.Str "gcd");
+        ("options", J.Obj [ ("passes", J.Str "extract") ]);
+      ]
+  in
+  let r = Serve.Server.handle t req in
+  Alcotest.(check string) "ok" "ok" (str_field "status" r);
+  match Option.bind (J.member "design" r) (J.member "options") with
+  | Some o ->
+      Alcotest.(check (option string)) "spec echoed back" (Some "extract")
+        (J.str_member "passes" o)
+  | None -> Alcotest.fail "design options missing"
+
 (* ---- sockets: busy rejection and graceful stop ---- *)
 
 let test_socket_busy_rejection () =
@@ -302,6 +373,14 @@ let () =
         ] );
       ( "pool",
         [ Alcotest.test_case "usable after a raising map" `Quick test_pool_usable_after_raise ] );
+      ( "proto",
+        [
+          Alcotest.test_case "passes codec round-trip" `Quick test_proto_passes_codec;
+          Alcotest.test_case "legacy opt_level accepted" `Quick test_proto_legacy_opt_level;
+          Alcotest.test_case "bad spec rejected with suggestion" `Quick test_proto_bad_spec;
+          Alcotest.test_case "versioning" `Quick test_proto_versioning;
+          Alcotest.test_case "synth under a passes spec" `Quick test_proto_synth_with_passes;
+        ] );
       ( "server",
         [
           Alcotest.test_case "synth and structured errors" `Quick test_handle_synth_and_errors;

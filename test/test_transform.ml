@@ -328,6 +328,178 @@ let prop_if_convert_preserves =
             [ "o1"; "o2" ])
         [ 1; 2; 3 ])
 
+(* ---- declarative rules: soundness + guards ---- *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let rule_pipeline name =
+  { Passes.passes = [ "rule:" ^ name ]; fold_facts = false; extract = None }
+
+(* every rule alone, through the full flow, stays bit-identical to the
+   reference on every built-in workload (three-level co-simulation) *)
+let test_each_rule_cosim () =
+  List.iter
+    (fun (r : Rules.t) ->
+      let options =
+        {
+          Hls_core.Flow.default_options with
+          Hls_core.Flow.passes = rule_pipeline r.Rules.name;
+        }
+      in
+      List.iter
+        (fun (wname, src) ->
+          let d = Hls_core.Flow.synthesize ~options src in
+          match Hls_core.Flow.verify ~runs:3 d with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "rule %s on %s: %s" r.Rules.name wname e)
+        Hls_core.Workloads.all)
+    Rules.all
+
+let test_rule_mul_chain () =
+  (* 5 = 4 + 1: a two-term shift/add chain replaces the multiplier *)
+  let cfg = compile "module m(input x: int<8>; output y: int<8>); begin y := x * 5; end" in
+  Alcotest.(check bool) "changed" true (Rules.run_rules [ Rules.mul_const_chain ] cfg);
+  Alcotest.(check int) "mul gone" 0 (count_op cfg (function Op.Mul -> true | _ -> false));
+  Alcotest.(check int) "shift present" 1
+    (count_op cfg (function Op.Shl -> true | _ -> false));
+  List.iter
+    (fun x ->
+      let r = Hls_sim.Cfg_sim.run cfg ~inputs:[ ("x", x) ] in
+      Alcotest.(check (option int)) (Printf.sprintf "x=%d" x) (Some (x * 5))
+        (List.assoc_opt "y" r))
+    [ 3; -7; 10 ]
+
+let test_rule_mul_chain_guard () =
+  (* 11 is not 2^a +/- 2^b: the multiplier must stay *)
+  let cfg = compile "module m(input x: int<8>; output y: int<8>); begin y := x * 11; end" in
+  Alcotest.(check bool) "unchanged" false (Rules.run_rules [ Rules.mul_const_chain ] cfg);
+  Alcotest.(check int) "mul stays" 1 (count_op cfg (function Op.Mul -> true | _ -> false))
+
+let test_rule_div_guard () =
+  let src = "module m(input x: int<8>; output y: int<8>); begin y := x / 4; end" in
+  (* truncating division of a possibly-negative value is not a shift *)
+  let cfg = compile src in
+  Alcotest.(check bool) "unproven sign: untouched" false
+    (Rules.run_rules [ Rules.div_pow2_shift ] cfg);
+  Alcotest.(check int) "div stays" 1 (count_op cfg (function Op.Div -> true | _ -> false));
+  (* with the numerator proven non-negative the rewrite fires *)
+  let cfg = compile src in
+  Alcotest.(check bool) "proven nonneg: rewritten" true
+    (Rules.run_rules ~nonneg:(fun _ _ _ -> true) [ Rules.div_pow2_shift ] cfg);
+  Alcotest.(check int) "div gone" 0 (count_op cfg (function Op.Div -> true | _ -> false));
+  Alcotest.(check int) "shr" 1 (count_op cfg (function Op.Shr -> true | _ -> false));
+  List.iter
+    (fun x ->
+      let r = Hls_sim.Cfg_sim.run cfg ~inputs:[ ("x", x) ] in
+      Alcotest.(check (option int)) (Printf.sprintf "x=%d" x) (Some (x / 4))
+        (List.assoc_opt "y" r))
+    [ 0; 7; 100 ];
+  (* a non-power-of-two divisor is never rewritten, proof or not *)
+  let cfg3 = compile "module m(input x: int<8>; output y: int<8>); begin y := x / 3; end" in
+  Alcotest.(check bool) "x/3 untouched" false
+    (Rules.run_rules ~nonneg:(fun _ _ _ -> true) [ Rules.div_pow2_shift ] cfg3)
+
+let test_rule_incr_decr_guards () =
+  let cfg = compile "module m(input x: int<8>; output y: int<8>); begin y := x + 2; end" in
+  Alcotest.(check bool) "x+2 not incr" false (Rules.run_rules [ Rules.add_one_incr ] cfg);
+  let cfg = compile "module m(input x: int<8>; output y: int<8>); begin y := 1 - x; end" in
+  Alcotest.(check bool) "1-x not decr" false (Rules.run_rules [ Rules.sub_one_decr ] cfg);
+  Alcotest.(check int) "sub stays" 1 (count_op cfg (function Op.Sub -> true | _ -> false))
+
+let test_rule_cmp_guard () =
+  let cfg =
+    compile "module m(input x: int<8>; output z: bool); begin z := x = 1; end"
+  in
+  Alcotest.(check bool) "x=1 not zdetect" false
+    (Rules.run_rules [ Rules.cmp_zero_zdetect ] cfg);
+  Alcotest.(check int) "no zdetect" 0
+    (count_op cfg (function Op.Zdetect -> true | _ -> false))
+
+let test_rule_cse_guard () =
+  (* operand order matters: a-b and b-a are distinct expressions *)
+  let cfg =
+    compile
+      "module m(input a, b: int<8>; output y: int<8>); begin y := (a - b) + (b - a); end"
+  in
+  Alcotest.(check bool) "no merge" false (Rules.run_rules [ Rules.cse_node ] cfg);
+  Alcotest.(check int) "both subs stay" 2
+    (count_op cfg (function Op.Sub -> true | _ -> false))
+
+let test_cse_global_shares () =
+  let src =
+    "module m(input a, b: int<8>; output y: int<8>); var t: int<8>; begin t := a * b; \
+     if a > 0 then y := a * b + 1; else y := 0 - t; end; end"
+  in
+  let cfg = compile src in
+  Alcotest.(check int) "two muls before" 2
+    (count_op cfg (function Op.Mul -> true | _ -> false));
+  Alcotest.(check bool) "shared" true (Rules.cse_global cfg);
+  Alcotest.(check int) "one mul after" 1
+    (count_op cfg (function Op.Mul -> true | _ -> false));
+  Cfg.validate cfg;
+  List.iter
+    (fun (a, b) ->
+      let r = Hls_sim.Cfg_sim.run cfg ~inputs:[ ("a", a); ("b", b) ] in
+      let expected = if a > 0 then (a * b) + 1 else -(a * b) in
+      Alcotest.(check (option int))
+        (Printf.sprintf "a=%d b=%d" a b)
+        (Some expected) (List.assoc_opt "y" r))
+    [ (3, 4); (-2, 5) ]
+
+let test_cse_global_respects_clobber () =
+  (* the predecessor overwrites u after computing u*b, so the committed
+     variable no longer holds the expression — no sharing allowed *)
+  let src =
+    "module m(input a, b: int<8>; output y: int<8>); var t, u: int<8>; begin u := a; \
+     t := u * b; u := b; if a > 0 then y := u * b; else y := 0; end; end"
+  in
+  let cfg = compile src in
+  ignore (Rules.cse_global cfg);
+  Cfg.validate cfg;
+  List.iter
+    (fun (a, b) ->
+      let r = Hls_sim.Cfg_sim.run cfg ~inputs:[ ("a", a); ("b", b) ] in
+      let expected = if a > 0 then b * b else 0 in
+      Alcotest.(check (option int))
+        (Printf.sprintf "a=%d b=%d" a b)
+        (Some expected) (List.assoc_opt "y" r))
+    [ (3, 4); (-1, 4) ]
+
+let test_find_suggestion () =
+  match Passes.find "stregth" with
+  | Ok _ -> Alcotest.fail "typo should not resolve"
+  | Error e ->
+      Alcotest.(check (option string)) "suggestion" (Some "strength") e.Passes.suggestion;
+      Alcotest.(check bool) "known names listed" true (e.Passes.known <> []);
+      let msg = Passes.find_error_to_string e in
+      Alcotest.(check bool) "message names the suggestion" true (contains msg "strength")
+
+(* ---- cost-guided extraction ---- *)
+
+let test_extract_area_rewrites_mul () =
+  (* 6 = 4 + 2: under the area objective the shift/add chain beats the
+     multiplier, and the multiplier class disappears from the block *)
+  let cfg = compile "module m(input x: int<8>; output y: int<8>); begin y := x * 6; end" in
+  Alcotest.(check bool) "changed" true (Extract.run ~objective:`Area cfg);
+  Alcotest.(check int) "mul gone" 0 (count_op cfg (function Op.Mul -> true | _ -> false));
+  Cfg.validate cfg;
+  List.iter
+    (fun x ->
+      let r = Hls_sim.Cfg_sim.run cfg ~inputs:[ ("x", x) ] in
+      Alcotest.(check (option int)) (Printf.sprintf "x=%d" x) (Some (x * 6))
+        (List.assoc_opt "y" r))
+    [ 5; -3; 0 ]
+
+let test_extract_keeps_original_when_best () =
+  (* nothing to gain: a plain add has no candidate alternatives *)
+  let cfg =
+    compile "module m(input a, b: int<8>; output y: int<8>); begin y := a + b; end"
+  in
+  Alcotest.(check bool) "unchanged" false (Extract.run ~objective:`Area cfg)
+
 (* ---- semantic preservation (the big property) ---- *)
 
 let preservation_property level seed =
@@ -438,6 +610,26 @@ let () =
           Alcotest.test_case "refuses division" `Quick test_if_convert_refuses_division;
           Alcotest.test_case "gcd inner diamond" `Quick test_if_convert_refuses_loops;
           QCheck_alcotest.to_alcotest prop_if_convert_preserves;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "each rule cosims on all workloads" `Slow test_each_rule_cosim;
+          Alcotest.test_case "x*5 -> shift/add chain" `Quick test_rule_mul_chain;
+          Alcotest.test_case "x*11 untouched (guard)" `Quick test_rule_mul_chain_guard;
+          Alcotest.test_case "div guard needs nonneg proof" `Quick test_rule_div_guard;
+          Alcotest.test_case "incr/decr guards" `Quick test_rule_incr_decr_guards;
+          Alcotest.test_case "cmp guard" `Quick test_rule_cmp_guard;
+          Alcotest.test_case "cse operand order guard" `Quick test_rule_cse_guard;
+          Alcotest.test_case "cross-block sharing" `Quick test_cse_global_shares;
+          Alcotest.test_case "sharing respects clobber" `Quick test_cse_global_respects_clobber;
+          Alcotest.test_case "find suggests nearest pass" `Quick test_find_suggestion;
+        ] );
+      ( "extract",
+        [
+          Alcotest.test_case "area objective drops multiplier" `Quick
+            test_extract_area_rewrites_mul;
+          Alcotest.test_case "original kept when best" `Quick
+            test_extract_keeps_original_when_best;
         ] );
       ( "preservation",
         [
