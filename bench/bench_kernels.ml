@@ -229,6 +229,9 @@ let run_bench ~iters ~size ~out =
   let json =
     Obj
       [ ("benchmark", Str "kernels");
+        ("host_cores", Num (float_of_int (Domain.recommended_domain_count ())));
+        ( "pool_cap",
+          Num (float_of_int (max 0 (Domain.recommended_domain_count () - 1))) );
         ("iters", Num (float_of_int iters));
         ("size", Num (float_of_int size));
         ("kernels", Obj kernels);

@@ -1,0 +1,301 @@
+(* Feedback-guided refinement benchmark: every workload is synthesized
+   one-shot under every scheduler at the default limits; the best
+   one-shot design per objective (area, latency) then seeds the
+   iterative refinement loop ([Flow.refine_design]) at iterate bounds
+   1..3. Each refined design is cosimulated against the behavioral
+   reference, the refined-value sequence is checked monotone in the
+   iterate bound, and a loop that accepted nothing must return its seed
+   bit-identically. Results land in BENCH_refine.json; --validate
+   reparses an emitted file and enforces the gates the refinement
+   design promises: refinement is never worse than the best one-shot
+   design on its objective (either coordinate, same constraints) on
+   every workload, strictly better on at least two, every refined
+   design's cosim is bit-identical, the per-iteration sequence is
+   monotone, and the no-improvement fixpoint is physical identity. The
+   @bench-smoke alias and `dune runtest` both run emit + validate. *)
+
+open Hls_core
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let max_iterate = 3
+
+let schedulers =
+  [ Flow.Asap; Flow.List_path; Flow.List_mobility; Flow.Freedom; Flow.Branch_bound;
+    Flow.Ilp_exact; Flow.Trans_parallel; Flow.Trans_serial ]
+
+type metric = { area : int; latency : float }
+
+let metric (d : Flow.design) =
+  {
+    area = d.Flow.estimate.Hls_rtl.Estimate.total_area;
+    latency = d.Flow.estimate.Hls_rtl.Estimate.latency_ns;
+  }
+
+type row = {
+  name : string;
+  objective : string;  (** ["area"] or ["latency"] *)
+  seed_scheduler : string;
+  seed : metric;
+  refined : metric;  (** at the largest iterate bound *)
+  iters : int;  (** accepted iterations at that bound *)
+  converged : bool;  (** reached a fixpoint before the bound *)
+  cosim_ok : bool;  (** every refined design, at every bound *)
+  monotone : bool;  (** values never regress as the bound grows *)
+  identity_ok : bool;  (** no acceptance => returned design IS the seed *)
+  ms : float;  (** refinement time at the largest bound *)
+}
+
+let run_bench ~runs ~out =
+  let open Hls_util.Json in
+  Hls_obs.Trace.reset ();
+  let rows =
+    List.concat_map
+      (fun (name, src) ->
+        let options = Flow.default_options in
+        let o =
+          Flow.midend ~passes:options.Flow.passes
+            ~if_conversion:options.Flow.if_conversion (Flow.frontend src)
+        in
+        (* the one-shot field: every scheduler at the default limits *)
+        let oneshot =
+          List.filter_map
+            (fun s ->
+              let opts = { options with Flow.scheduler = s } in
+              match Flow.backend_result opts o with
+              | Ok d -> Some (s, opts, d)
+              | Error _ -> None)
+            schedulers
+        in
+        let best keyfn =
+          match
+            List.sort
+              (fun (_, _, a) (_, _, b) -> compare (keyfn (metric a)) (keyfn (metric b)))
+              oneshot
+          with
+          | x :: _ -> x
+          | [] ->
+              Printf.eprintf "%s: no one-shot design synthesized\n" name;
+              exit 2
+        in
+        List.map
+          (fun (objective, keyfn) ->
+            let s, opts, seed = best keyfn in
+            let sm = metric seed in
+            let cosim_ok = ref true in
+            let monotone = ref true in
+            let prev = ref sm in
+            let last = ref (seed, 0, 0.0) in
+            for k = 1 to max_iterate do
+              let (d, iters), t =
+                timed (fun () ->
+                    Flow.refine_design { opts with Flow.iterate = k } o seed)
+              in
+              let m = metric d in
+              if m.area > !prev.area || m.latency > !prev.latency +. 1e-6 then
+                monotone := false;
+              prev := m;
+              (match Flow.verify ~runs d with
+              | Ok () -> ()
+              | Error e ->
+                  Printf.eprintf "%s/%s: iterate %d cosim diverged: %s\n" name
+                    objective k e;
+                  cosim_ok := false);
+              last := (d, iters, t)
+            done;
+            let d, iters, t = !last in
+            {
+              name;
+              objective;
+              seed_scheduler = Flow.scheduler_to_string s;
+              seed = sm;
+              refined = metric d;
+              iters;
+              converged = iters < max_iterate;
+              cosim_ok = !cosim_ok;
+              monotone = !monotone;
+              identity_ok =
+                iters > 0 || Dse.design_digest d = Dse.design_digest seed;
+              ms = 1e3 *. t;
+            })
+          [
+            ("area", fun m -> (float_of_int m.area, m.latency));
+            ("latency", fun m -> (m.latency, float_of_int m.area));
+          ])
+      Workloads.all
+  in
+  let all_cosim_ok = List.for_all (fun r -> r.cosim_ok) rows in
+  let never_worse =
+    List.for_all
+      (fun r -> r.refined.area <= r.seed.area && r.refined.latency <= r.seed.latency +. 1e-6)
+      rows
+  in
+  let all_monotone = List.for_all (fun r -> r.monotone) rows in
+  let all_identity = List.for_all (fun r -> r.identity_ok) rows in
+  let strict r =
+    (r.refined.area < r.seed.area && r.refined.latency <= r.seed.latency +. 1e-6)
+    || (r.refined.latency < r.seed.latency && r.refined.area <= r.seed.area)
+  in
+  let improved =
+    List.length
+      (List.sort_uniq compare
+         (List.filter_map (fun r -> if strict r then Some r.name else None) rows))
+  in
+  let metric_json m =
+    Obj [ ("area", Num (float_of_int m.area)); ("latency_ns", Num m.latency) ]
+  in
+  let row_json r =
+    Obj
+      [
+        ("name", Str r.name);
+        ("objective", Str r.objective);
+        ("seed_scheduler", Str r.seed_scheduler);
+        ("seed", metric_json r.seed);
+        ("refined", metric_json r.refined);
+        ("iterations", Num (float_of_int r.iters));
+        ("converged", Bool r.converged);
+        ("cosim_ok", Bool r.cosim_ok);
+        ("monotone", Bool r.monotone);
+        ("identity_ok", Bool r.identity_ok);
+        ("ms", Num r.ms);
+      ]
+  in
+  let json =
+    Obj
+      [
+        ("benchmark", Str "refine");
+        ("host_cores", Num (float_of_int (Domain.recommended_domain_count ())));
+        ( "pool_cap",
+          Num (float_of_int (max 0 (Domain.recommended_domain_count () - 1))) );
+        ("cosim_runs", Num (float_of_int runs));
+        ("max_iterate", Num (float_of_int max_iterate));
+        ("workloads", Arr (List.map row_json rows));
+        ("all_cosim_ok", Bool all_cosim_ok);
+        ("never_worse", Bool never_worse);
+        ("monotone", Bool all_monotone);
+        ("identity_ok", Bool all_identity);
+        ("improved_workloads", Num (float_of_int improved));
+        ("counters", Metrics.counters_json ());
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (to_string json);
+  close_out oc;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-10s %-7s seed %-13s (%5d, %7.0f)  refined (%5d, %7.0f)  iters %d%s%s\n"
+        r.name r.objective r.seed_scheduler r.seed.area r.seed.latency r.refined.area
+        r.refined.latency r.iters
+        (if r.converged then "" else " (bound hit)")
+        (if r.cosim_ok then "" else "  COSIM FAIL"))
+    rows;
+  Printf.printf "%s: %d/%d workloads strictly improved, all cosim ok: %b\n" out
+    improved
+    (List.length Workloads.all)
+    all_cosim_ok;
+  if not (all_cosim_ok && never_worse && all_monotone && all_identity) then exit 1
+
+let validate file =
+  let open Hls_util.Json in
+  let ic =
+    try open_in file
+    with Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match parse text with
+  | Error e ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file e;
+      exit 1
+  | Ok json ->
+      let fail msg =
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+      in
+      let bool_field key =
+        match member key json with
+        | Some (Bool b) -> b
+        | _ -> fail (Printf.sprintf "missing boolean field %S" key)
+      in
+      List.iter
+        (fun key ->
+          match member key json with
+          | Some (Num _) -> ()
+          | _ -> fail (Printf.sprintf "missing numeric field %S" key))
+        [ "host_cores"; "pool_cap"; "cosim_runs"; "max_iterate" ];
+      let rows =
+        match member "workloads" json with
+        | Some (Arr rows) -> rows
+        | _ -> fail "missing workloads array"
+      in
+      if rows = [] then fail "workloads array is empty";
+      List.iter
+        (fun row ->
+          let name =
+            match member "name" row with
+            | Some (Str s) -> s
+            | _ -> fail "workload row missing name"
+          in
+          let m key field =
+            match Option.bind (member key row) (member field) with
+            | Some (Num v) -> v
+            | _ -> fail (Printf.sprintf "%s: missing %s.%s" name key field)
+          in
+          (* the tentpole's headline gate, re-checked per row so a
+             hand-edited file cannot sneak past the booleans: iterated
+             never worse than the best one-shot design it grew from, on
+             either coordinate, under the same constraints *)
+          if m "refined" "area" > m "seed" "area" then
+            fail
+              (Printf.sprintf "%s: refined area %.0f exceeds one-shot seed %.0f" name
+                 (m "refined" "area") (m "seed" "area"));
+          if m "refined" "latency_ns" > m "seed" "latency_ns" +. 1e-6 then
+            fail
+              (Printf.sprintf "%s: refined latency %.1f exceeds one-shot seed %.1f"
+                 name
+                 (m "refined" "latency_ns")
+                 (m "seed" "latency_ns"));
+          List.iter
+            (fun key ->
+              match member key row with
+              | Some (Bool true) -> ()
+              | _ -> fail (Printf.sprintf "%s: %s is not true" name key))
+            [ "cosim_ok"; "monotone"; "identity_ok" ])
+        rows;
+      if not (bool_field "all_cosim_ok") then fail "all_cosim_ok is false";
+      if not (bool_field "never_worse") then fail "never_worse is false";
+      if not (bool_field "monotone") then fail "monotone is false";
+      if not (bool_field "identity_ok") then fail "identity_ok is false";
+      (* refinement must strictly beat the best one-shot schedule
+         somewhere, not merely tie everywhere *)
+      (match member "improved_workloads" json with
+      | Some (Num v) when v >= 2.0 -> ()
+      | Some (Num v) ->
+          fail (Printf.sprintf "only %.0f workload(s) strictly improved (gate: 2)" v)
+      | _ -> fail "missing numeric field \"improved_workloads\"");
+      Printf.printf "%s: valid (%d rows, all refinement gates hold)\n" file
+        (List.length rows)
+
+let () =
+  let runs = ref 3 and out = ref "BENCH_refine.json" in
+  let validate_file = ref None in
+  let spec =
+    [
+      ("--runs", Arg.Set_int runs, "N  cosimulation runs per refined design (default 3)");
+      ("--out", Arg.Set_string out, "FILE  output path (default BENCH_refine.json)");
+      ( "--validate",
+        Arg.String (fun f -> validate_file := Some f),
+        "FILE  reparse an emitted result file and check its gates" );
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "bench_refine";
+  match !validate_file with
+  | Some f -> validate f
+  | None -> run_bench ~runs:!runs ~out:!out

@@ -119,6 +119,9 @@ let run_bench ~runs ~out =
     Obj
       [
         ("benchmark", Str "rewrite_extraction");
+        ("host_cores", Num (float_of_int (Domain.recommended_domain_count ())));
+        ( "pool_cap",
+          Num (float_of_int (max 0 (Domain.recommended_domain_count () - 1))) );
         ("cosim_runs", Num (float_of_int runs));
         ("workloads", Arr (List.map row_json rows));
         ("all_cosim_ok", Bool all_cosim_ok);

@@ -181,7 +181,20 @@ let narrow_flag =
           "Narrow registers, functional units and muxes to the widths the value-range \
            analysis proves sufficient (area-only; the design stays bit-identical).")
 
-let make_options passes opt_level if_conversion scheduler fus allocator encoding narrow =
+let iterate_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "iterate" ] ~docv:"N"
+        ~doc:
+          "Feedback-guided refinement: after the one-shot flow, extract the \
+           critical subgraph (longest register-to-register chains, \
+           oversubscribed unit classes, live-storage floor) and re-schedule \
+           it under tightened constraints, up to N accepted iterations. A \
+           refined design is behaviourally bit-identical to its seed and \
+           accepted only on strict (area, latency) improvement; 0 disables.")
+
+let make_options passes opt_level if_conversion scheduler fus allocator encoding narrow
+    iterate =
   let limits =
     if fus = 0 then Hls_sched.Limits.Serial
     else if fus < 0 then Hls_sched.Limits.Unlimited
@@ -194,12 +207,12 @@ let make_options passes opt_level if_conversion scheduler fus allocator encoding
     | None, None -> Hls_transform.Passes.default_pipeline
   in
   { Flow.passes; if_conversion; scheduler; limits; allocator;
-    share_variables = true; encoding; narrow }
+    share_variables = true; encoding; narrow; iterate }
 
 let options_term =
   Term.(
     const make_options $ passes_arg $ opt_level $ if_convert_flag $ scheduler $ fus
-    $ allocator $ encoding $ narrow_flag)
+    $ allocator $ encoding $ narrow_flag $ iterate_arg)
 
 (* ---- shared tracing/metrics flags ---- *)
 
@@ -668,10 +681,17 @@ let dse_term =
               if all then None else Some [ base.Flow.scheduler ]
             in
             let pipelines = match sweep_passes with [] -> None | ps -> Some ps in
+            (* with --iterate N the sweep crosses a refinement axis, so
+               iterated points land in the same trade-off table as every
+               one-shot scheduler *)
+            let iterates =
+              if base.Flow.iterate > 0 then Some [ 0; base.Flow.iterate ] else None
+            in
             let points =
               if prune then begin
                 let pr =
-                  Explore.sweep_pruned ~config ~base ?schedulers ?pipelines src
+                  Explore.sweep_pruned ~config ~base ?schedulers ?pipelines ?iterates
+                    src
                 in
                 Printf.printf
                   "pruned %d of %d points before the backend (%d rounds)\n"
@@ -680,8 +700,8 @@ let dse_term =
                   pr.Explore.rounds;
                 pr.Explore.evaluated
               end
-              else if all || pipelines <> None then
-                Explore.sweep ~config ~base ?schedulers ?pipelines src
+              else if all || pipelines <> None || iterates <> None then
+                Explore.sweep ~config ~base ?schedulers ?pipelines ?iterates src
               else Explore.sweep_limits ~config ~base src
             in
             print_string (Explore.table ~timings points);

@@ -60,6 +60,12 @@ type bkey =
   * Hls_ctrl.Encoding.style
   * bool (* narrow: width inference changes the bound datapath *)
 
+(* Refinement layer: the one-shot backend seed plus the constraints the
+   acceptance loop runs under. Effective limits participate because
+   candidate legality is checked against them, and the iterate count
+   because it bounds the loop. *)
+type rkey = bkey * Limits.t * int
+
 type config = {
   jobs : int;
   verify : bool;
@@ -70,7 +76,13 @@ type config = {
 let default_config = { jobs = 1; verify = false; memoize = true; cache_dir = None }
 
 type layer = { hits : int; misses : int }
-type stats = { frontend : layer; midend : layer; schedule : layer; backend : layer }
+type stats = {
+  frontend : layer;
+  midend : layer;
+  schedule : layer;
+  backend : layer;
+  refine : layer;
+}
 
 type counter = { mutable c_hits : int; mutable c_misses : int }
 type 'v slot = Done of 'v | Pending
@@ -87,11 +99,13 @@ type t = {
   mid : (mkey, Flow.optimized slot) Hashtbl.t;
   scheds : (skey, Cfg_sched.t slot) Hashtbl.t;
   backs : (bkey, presult slot) Hashtbl.t;
+  refines : (rkey, presult slot) Hashtbl.t;
   persist : (string, presult slot) Hashtbl.t;
   n_front : counter;
   n_mid : counter;
   n_sched : counter;
   n_back : counter;
+  n_refine : counter;
   n_persist : counter;
 }
 
@@ -120,11 +134,13 @@ let make_engine config source =
     mid = Hashtbl.create 8;
     scheds = Hashtbl.create 64;
     backs = Hashtbl.create 64;
+    refines = Hashtbl.create 16;
     persist = Hashtbl.create 64;
     n_front = { c_hits = 0; c_misses = 0 };
     n_mid = { c_hits = 0; c_misses = 0 };
     n_sched = { c_hits = 0; c_misses = 0 };
     n_back = { c_hits = 0; c_misses = 0 };
+    n_refine = { c_hits = 0; c_misses = 0 };
     n_persist = { c_hits = 0; c_misses = 0 };
   }
 
@@ -138,12 +154,13 @@ let clear t =
       Hashtbl.reset t.mid;
       Hashtbl.reset t.scheds;
       Hashtbl.reset t.backs;
+      Hashtbl.reset t.refines;
       Hashtbl.reset t.persist;
       List.iter
         (fun c ->
           c.c_hits <- 0;
           c.c_misses <- 0)
-        [ t.n_front; t.n_mid; t.n_sched; t.n_back; t.n_persist ])
+        [ t.n_front; t.n_mid; t.n_sched; t.n_back; t.n_refine; t.n_persist ])
 
 let stats t =
   Hls_obs.Sync.with_lock t.lock (fun () ->
@@ -153,6 +170,7 @@ let stats t =
         midend = layer t.n_mid;
         schedule = layer t.n_sched;
         backend = layer t.n_back;
+        refine = layer t.n_refine;
       })
 
 let pp_stats ppf s =
@@ -160,7 +178,8 @@ let pp_stats ppf s =
   line "frontend" s.frontend;
   line "midend" s.midend;
   line "schedule" s.schedule;
-  line "backend" s.backend
+  line "backend" s.backend;
+  line "refine" s.refine
 
 (* Single-flight memoization. The first prober of a key installs
    [Pending], computes unlocked, publishes [Done] and broadcasts; later
@@ -252,6 +271,7 @@ let point_args (options : Flow.options) =
     ("allocator", Flow.allocator_to_string options.allocator);
     ("encoding", Hls_ctrl.Encoding.style_to_string options.encoding);
     ("narrow", string_of_bool options.narrow);
+    ("iterate", string_of_int options.iterate);
   ]
 
 let canonical_options (options : Flow.options) =
@@ -300,10 +320,24 @@ let eval_staged t (options : Flow.options) =
       options.encoding,
       options.narrow )
   in
-  match
+  let seeded =
     memo t "backend" t.n_back t.backs bkey (fun () ->
         Flow.complete_result options o ~sched)
-  with
+  in
+  let refined =
+    if options.iterate <= 0 then seeded
+    else
+      (* the refined design depends on the seed (bkey), the limits the
+         candidates must verify under, and the iteration bound — all in
+         the key, so the memo can be shared across points and stays
+         deterministic at any job count (single-flight) *)
+      let rkey = (bkey, Flow.effective_limits options, options.iterate) in
+      memo t "refine" t.n_refine t.refines rkey (fun () ->
+          match seeded with
+          | Error ds -> Error ds
+          | Ok seed -> Ok (fst (Flow.refine_design options o seed)))
+  in
+  match refined with
   | Error ds ->
       (* a structural netlist failure is as cacheable as a design:
          every point probing this backend key reports the same

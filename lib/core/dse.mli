@@ -104,7 +104,17 @@ val run : t -> Flow.options list -> Flow.design list
     input order raises {!Flow.Lint_failed}. *)
 
 type layer = { hits : int; misses : int }
-type stats = { frontend : layer; midend : layer; schedule : layer; backend : layer }
+
+type stats = {
+  frontend : layer;
+  midend : layer;
+  schedule : layer;
+  backend : layer;
+  refine : layer;
+      (** the feedback-refinement layer: keyed on the backend seed plus
+          effective limits and iterate count, probed only for points
+          with [iterate > 0] *)
+}
 
 val stats : t -> stats
 (** Cache hit/miss counters per layer since creation (or {!clear}).

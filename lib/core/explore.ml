@@ -45,24 +45,38 @@ let run_points ~config ~engine src labelled =
       | Error ds -> raise (Flow.Lint_failed ds))
     labelled results
 
-let cross ?(pipelines = []) ~base ~schedulers ~limits () =
+let cross ?(pipelines = []) ?(iterates = []) ~base ~schedulers ~limits () =
   let pipelines = if pipelines = [] then [ base.Flow.passes ] else pipelines in
+  let iterates = if iterates = [] then [ base.Flow.iterate ] else iterates in
   let many = List.length pipelines > 1 in
+  let many_it = List.length iterates > 1 in
   List.concat_map
-    (fun p ->
+    (fun it ->
       List.concat_map
-        (fun s ->
-          List.map
-            (fun l ->
-              let label =
-                Flow.scheduler_to_string s ^ " @ " ^ Limits.to_string l
-                ^
-                if many then " / " ^ Hls_transform.Passes.pipeline_to_string p else ""
-              in
-              (label, { base with Flow.scheduler = s; Flow.limits = l; Flow.passes = p }))
-            limits)
-        schedulers)
-    pipelines
+        (fun p ->
+          List.concat_map
+            (fun s ->
+              List.map
+                (fun l ->
+                  let label =
+                    Flow.scheduler_to_string s ^ " @ " ^ Limits.to_string l
+                    ^ (if many then " / " ^ Hls_transform.Passes.pipeline_to_string p
+                       else "")
+                    ^
+                    if many_it then Printf.sprintf " / iterate %d" it else ""
+                  in
+                  ( label,
+                    {
+                      base with
+                      Flow.scheduler = s;
+                      Flow.limits = l;
+                      Flow.passes = p;
+                      Flow.iterate = it;
+                    } ))
+                limits)
+            schedulers)
+        pipelines)
+    iterates
 
 let sweep_limits ?(config = Dse.default_config) ?engine ?(base = Flow.default_options)
     ?(limits = default_limits) src =
@@ -77,8 +91,10 @@ let sweep_schedulers ?(config = Dse.default_config) ?engine
        schedulers)
 
 let sweep ?(config = Dse.default_config) ?engine ?(base = Flow.default_options)
-    ?(schedulers = default_schedulers) ?(limits = default_limits) ?pipelines src =
-  run_points ~config ~engine src (cross ?pipelines ~base ~schedulers ~limits ())
+    ?(schedulers = default_schedulers) ?(limits = default_limits) ?pipelines ?iterates
+    src =
+  run_points ~config ~engine src
+    (cross ?pipelines ?iterates ~base ~schedulers ~limits ())
 
 (* ---- pareto frontier ---- *)
 
@@ -199,7 +215,7 @@ module Bound = struct
      [node_w] supplies each operation's storage width — declared type
      width normally, the range-inferred width under [narrow], matching
      what {!Hls_rtl.Datapath.build} will bind. *)
-  let fu_area_lb ~node_w cs =
+  let fu_class_floors ~node_w cs =
     let cfg = Cfg_sched.cfg cs in
     let best = Hashtbl.create 4 in
     let bump cls a =
@@ -245,7 +261,88 @@ module Bound = struct
           Hashtbl.iter bump sums
         done)
       (Hls_cdfg.Cfg.block_ids cfg);
-    Hashtbl.fold (fun _ a acc -> acc + a) best 0
+    best
+
+  let fu_area_lb ~node_w cs =
+    Hashtbl.fold (fun _ a acc -> acc + a) (fu_class_floors ~node_w cs) 0
+
+  (* Units of one class are a machine-wide resource, and so is the
+     interconnect in front of their operand ports. For argument
+     position p of class c, every distinct constant operand is a
+     dedicated wire the allocator cannot merge (plus one more wire when
+     any operand is computed or register-borne — those may all merge
+     into one register, but never into a constant). With U units those
+     wires split across at most U port-p muxes, and mux area is linear
+     in inputs beyond the first, so the inputs the splitting cannot
+     absorb cost [mux_area (D - U + 1)] at the class's narrowest width.
+     The unit count itself is the allocator's to choose — more units
+     shrink the muxes but each unit costs at least the cheapest class
+     component — so the class's true (FU + input-mux) area is at least
+     the minimum over U of the coupled sum. [schedule_free] drops the
+     schedule-derived per-class floor, leaving floors valid for any
+     legal schedule of the same CFG (what an [iterate > 0] point may
+     ship after refinement). *)
+  let fu_input_mux_area_lb ~node_w ~schedule_free cs =
+    let cfg = Cfg_sched.cfg cs in
+    let minw : (Hls_cdfg.Op.fu_class, int) Hashtbl.t = Hashtbl.create 4 in
+    let arity : (Hls_cdfg.Op.fu_class, int) Hashtbl.t = Hashtbl.create 4 in
+    let consts : (Hls_cdfg.Op.fu_class * int, int list) Hashtbl.t = Hashtbl.create 8 in
+    let nonconst : (Hls_cdfg.Op.fu_class * int, unit) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun bid ->
+        let g = Hls_cdfg.Cfg.dfg cfg bid in
+        Hls_cdfg.Dfg.iter
+          (fun nid node ->
+            if Hls_cdfg.Dfg.occupies_step g nid then begin
+              let cls = Hls_cdfg.Dfg.fu_class_of g nid in
+              if List.mem cls real_classes then begin
+                let w = node_w g bid nid in
+                let cur = Option.value (Hashtbl.find_opt minw cls) ~default:max_int in
+                Hashtbl.replace minw cls (min cur w);
+                let ar = Option.value (Hashtbl.find_opt arity cls) ~default:0 in
+                Hashtbl.replace arity cls (max ar (List.length node.Hls_cdfg.Dfg.args));
+                List.iteri
+                  (fun pos a ->
+                    match Hls_cdfg.Dfg.op g a with
+                    | Hls_cdfg.Op.Const c ->
+                        let cur =
+                          Option.value (Hashtbl.find_opt consts (cls, pos)) ~default:[]
+                        in
+                        if not (List.mem c cur) then
+                          Hashtbl.replace consts (cls, pos) (c :: cur)
+                    | _ -> Hashtbl.replace nonconst (cls, pos) ())
+                  node.Hls_cdfg.Dfg.args
+              end
+            end)
+          g)
+      (Hls_cdfg.Cfg.block_ids cfg);
+    let floors = if schedule_free then None else Some (fu_class_floors ~node_w cs) in
+    Hashtbl.fold
+      (fun cls w acc ->
+        let fc =
+          match floors with
+          | Some tbl -> Option.value (Hashtbl.find_opt tbl cls) ~default:0
+          | None -> 0
+        in
+        let a_min = min_class_area cls ~width:w in
+        let d pos =
+          List.length (Option.value (Hashtbl.find_opt consts (cls, pos)) ~default:[])
+          + if Hashtbl.mem nonconst (cls, pos) then 1 else 0
+        in
+        let ds = List.init (Option.value (Hashtbl.find_opt arity cls) ~default:0) d in
+        let cost u =
+          max fc (u * a_min)
+          + List.fold_left
+              (fun s dp ->
+                s + Hls_rtl.Component.mux_area ~inputs:(max 1 (dp - u + 1)) ~width:w)
+              0 ds
+        in
+        let best = ref (cost 1) in
+        for u = 2 to List.fold_left max 1 ds do
+          if cost u < !best then best := cost u
+        done;
+        acc + !best)
+      minw 0
 
   let port_names (o : Flow.optimized) =
     List.map (fun (p : Hls_lang.Ast.port) -> p.Hls_lang.Ast.pname)
@@ -406,6 +503,32 @@ module Bound = struct
       Hls_rtl.Component.register_delay_ns +. Hls_rtl.Component.mux_delay_ns +. worst
     else Hls_rtl.Component.register_delay_ns
 
+  (* Schedule-free structural floors. Any legal schedule of a block
+     spans at least its critical dependence chain, so a step (and
+     state) count summed from critical lengths under-approximates every
+     schedule the same CFG can carry — including whatever refinement
+     ships for an [iterate > 0] point. *)
+  let critical_steps cs =
+    let cfg = Cfg_sched.cfg cs in
+    List.fold_left
+      (fun acc bid ->
+        let g = Hls_cdfg.Cfg.dfg cfg bid in
+        if Hls_cdfg.Dfg.compute_ops g = [] then acc
+        else
+          acc
+          + Depgraph.critical_length (Depgraph.of_dfg g)
+            * Hls_cdfg.Cfg.exec_frequency cfg bid)
+      0
+      (Hls_cdfg.Cfg.block_ids cfg)
+
+  let states_lb cs =
+    let cfg = Cfg_sched.cfg cs in
+    List.fold_left
+      (fun acc bid ->
+        acc + Depgraph.critical_length (Depgraph.of_dfg (Hls_cdfg.Cfg.dfg cfg bid)))
+      0
+      (Hls_cdfg.Cfg.block_ids cfg)
+
   let compute (options : Flow.options) (o : Flow.optimized) cs =
     let node_w =
       if options.Flow.narrow then begin
@@ -416,11 +539,26 @@ module Bound = struct
       end
       else fun g _bid nid -> bits_of (Hls_cdfg.Dfg.ty g nid)
     in
-    let area =
-      fu_area_lb ~node_w cs + port_reg_area o cs + live_reg_area ~node_w o cs
-      + reg_mux_area_lb ~node_w o cs + ctrl_area_lb options cs
+    (* a point with [iterate > 0] may ship a refined schedule that
+       differs from the one the cheap stages produced (refinement
+       replaces whole block schedules, constrained only by dependences
+       and the point's effective limits), so every schedule-derived
+       floor is replaced by its schedule-free counterpart; one-shot
+       points keep the tighter schedule-derived bounds. *)
+    let sf = options.Flow.iterate > 0 in
+    let states = if sf then states_lb cs else Cfg_sched.total_states cs in
+    let ctrl =
+      Hls_rtl.Component.register_area
+        ~width:(Hls_ctrl.Encoding.width options.Flow.encoding ~n_states:(max 1 states))
     in
-    let latency = cycle_lb cs *. float_of_int (Cfg_sched.compute_steps cs) in
+    let area =
+      fu_input_mux_area_lb ~node_w ~schedule_free:sf cs
+      + port_reg_area o cs
+      + (if sf then 0 else live_reg_area ~node_w o cs)
+      + reg_mux_area_lb ~node_w o cs + ctrl
+    in
+    let steps = if sf then critical_steps cs else Cfg_sched.compute_steps cs in
+    let latency = cycle_lb cs *. float_of_int steps in
     (area, latency)
 end
 
@@ -444,16 +582,39 @@ type pruned_sweep = {
    (area, latency): evaluating one representative reveals the exact
    value of every member. *)
 let backend_class (options : Flow.options) sched =
-  String.concat "|"
-    [
-      Hls_transform.Passes.pipeline_to_string options.Flow.passes;
-      string_of_bool options.Flow.if_conversion;
-      Cfg_sched.digest sched;
-      Flow.allocator_to_string options.Flow.allocator;
-      string_of_bool options.Flow.share_variables;
-      Hls_ctrl.Encoding.style_to_string options.Flow.encoding;
-      string_of_bool options.Flow.narrow;
-    ]
+  let key =
+    String.concat "|"
+      [
+        Hls_transform.Passes.pipeline_to_string options.Flow.passes;
+        string_of_bool options.Flow.if_conversion;
+        Cfg_sched.digest sched;
+        Flow.allocator_to_string options.Flow.allocator;
+        string_of_bool options.Flow.share_variables;
+        Hls_ctrl.Encoding.style_to_string options.Flow.encoding;
+        string_of_bool options.Flow.narrow;
+      ]
+  in
+  (* refinement runs downstream of the backend: an iterated point's
+     value additionally depends on the iteration bound and on the
+     limits its candidates must verify under, so such points share a
+     class only when those agree too. One-shot points keep the
+     historical key. *)
+  if options.Flow.iterate <= 0 then key
+  else
+    String.concat "|"
+      [
+        key;
+        string_of_int options.Flow.iterate;
+        Limits.to_string (Flow.effective_limits options);
+      ]
+
+(* In-flight promotion window: at most this many backend evaluations
+   outstanding while class decisions are still being made. Fixed —
+   independent of [jobs] — so that the decision sequence, and with it
+   every promotion, pruning and counter, is identical at any job count:
+   a verdict is incorporated only when the oldest outstanding future is
+   awaited, in submission order, never when it happens to land. *)
+let promote_window = 4
 
 let run_points_pruned ~config ~engine src labelled =
   let engine = match engine with Some e -> e | None -> Dse.create ~config src in
@@ -486,49 +647,56 @@ let run_points_pruned ~config ~engine src labelled =
     status.(i) <- `Pruned;
     Hls_obs.Trace.incr "dse/pruned_points"
   in
-  let promote idxs =
-    let results = Dse.run_result engine (List.map (fun i -> snd items.(i)) idxs) in
-    List.iter2
-      (fun i r ->
-        match r with
-        | Error ds -> raise (Flow.Lint_failed ds)
-        | Ok d ->
-            let label, options = items.(i) in
-            let p = point_of label options d in
-            status.(i) <- `Evaluated p;
-            Hls_obs.Trace.incr "dse/points_evaluated";
-            Hashtbl.replace class_value keys.(i) (p.area, p.latency_ns);
-            reals := (p.area, p.latency_ns) :: !reals)
-      idxs results
+  let settle i r =
+    match r with
+    | Error ds -> raise (Flow.Lint_failed ds)
+    | Ok d ->
+        let label, options = items.(i) in
+        let p = point_of label options d in
+        status.(i) <- `Evaluated p;
+        Hls_obs.Trace.incr "dse/points_evaluated";
+        Hashtbl.replace class_value keys.(i) (p.area, p.latency_ns);
+        reals := (p.area, p.latency_ns) :: !reals
   in
+  (* one decision per backend class — duplicate schedules never burn a
+     promotion slot — most promising bound-score first: the successive-
+     halving ranking collapsed to a total order now that verdicts
+     stream back in flight instead of round-synchronously *)
+  let first_of = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    Hashtbl.replace first_of keys.(i) i
+  done;
+  let class_order =
+    Hashtbl.fold (fun _ i acc -> i :: acc) first_of []
+    |> List.sort (fun i j -> compare (score i, i) (score j, j))
+  in
+  let window = Queue.create () in
   let rounds = ref 0 in
-  let running = ref true in
-  while !running do
-    (* prune: by exact value once a point's backend class has been
-       evaluated, by sound lower bounds before *)
-    for i = 0 to n - 1 do
-      if is_pending i then
-        match Hashtbl.find_opt class_value keys.(i) with
-        | Some v -> if dominated v then prune i
-        | None -> if dominated lbs.(i) then prune i
-    done;
-    (* promote: one representative per still-unknown backend class, the
-       most promising quarter (by area-bound × latency-bound) per round
-       — successive halving over classes, not raw points, so duplicate
-       schedules never burn a promotion slot *)
-    let unknown = Hashtbl.create 16 in
-    for i = n - 1 downto 0 do
-      if is_pending i && not (Hashtbl.mem class_value keys.(i)) then
-        Hashtbl.replace unknown keys.(i) i
-    done;
-    let reps = Hashtbl.fold (fun _ i acc -> i :: acc) unknown [] in
-    if reps = [] then running := false
-    else begin
-      incr rounds;
-      let reps = List.sort (fun i j -> compare (score i, i) (score j, j)) reps in
-      let k = (List.length reps + 3) / 4 in
-      promote (List.filteri (fun pos _ -> pos < k) reps)
-    end
+  let drain_one () =
+    let i, fut = Queue.pop window in
+    incr rounds;
+    settle i (Pool.await fut)
+  in
+  List.iter
+    (fun rep ->
+      (* decide this class on exactly the verdicts incorporated so far:
+         prune what the evaluated designs already dominate, promote the
+         first member still standing *)
+      let members = ref [] in
+      for i = n - 1 downto 0 do
+        if keys.(i) = keys.(rep) && is_pending i then
+          if dominated lbs.(i) then prune i else members := i :: !members
+      done;
+      match !members with
+      | [] -> () (* the whole class fell to its bounds — never promoted *)
+      | i :: _ ->
+          if Queue.length window >= promote_window then drain_one ();
+          let _, options = items.(i) in
+          Queue.push (i, Pool.async ~jobs (fun () -> Dse.eval_result engine options))
+            window)
+    class_order;
+  while not (Queue.is_empty window) do
+    drain_one ()
   done;
   (* every surviving point's class is now evaluated: non-dominated ones
      materialize from the backend cache, the rest are pruned by their
@@ -540,7 +708,8 @@ let run_points_pruned ~config ~engine src labelled =
       if dominated v then prune i else survivors := i :: !survivors
     end
   done;
-  promote !survivors;
+  List.iter2 settle !survivors
+    (Dse.run_result engine (List.map (fun i -> snd items.(i)) !survivors));
   let indices = List.init n Fun.id in
   let evaluated =
     List.filter_map
@@ -567,5 +736,7 @@ let run_points_pruned ~config ~engine src labelled =
   { evaluated; pruned; rounds = !rounds }
 
 let sweep_pruned ?(config = Dse.default_config) ?engine ?(base = Flow.default_options)
-    ?(schedulers = default_schedulers) ?(limits = default_limits) ?pipelines src =
-  run_points_pruned ~config ~engine src (cross ?pipelines ~base ~schedulers ~limits ())
+    ?(schedulers = default_schedulers) ?(limits = default_limits) ?pipelines ?iterates
+    src =
+  run_points_pruned ~config ~engine src
+    (cross ?pipelines ?iterates ~base ~schedulers ~limits ())

@@ -51,15 +51,21 @@ val sweep :
   ?schedulers:Flow.scheduler list ->
   ?limits:Hls_sched.Limits.t list ->
   ?pipelines:Hls_transform.Passes.pipeline list ->
+  ?iterates:int list ->
   string ->
   point list
-(** Full pipelines × scheduler × limits cross product (default 1 × 8 ×
-    5 = 40 points), labelled ["scheduler @ limits"] — with
-    [" / pipeline"] appended when more than one pipeline sweeps.
-    [pipelines] defaults to just the base options' spec. *)
+(** Full iterates × pipelines × scheduler × limits cross product
+    (default 1 × 1 × 8 × 5 = 40 points), labelled
+    ["scheduler @ limits"] — with [" / pipeline"] appended when more
+    than one pipeline sweeps and [" / iterate N"] when more than one
+    refinement bound does. [pipelines] defaults to just the base
+    options' spec, [iterates] to just the base options' [iterate], so
+    a sweep can compare feedback-refined points against every one-shot
+    scheduler by passing e.g. [~iterates:[0; 3]]. *)
 
 val cross :
   ?pipelines:Hls_transform.Passes.pipeline list ->
+  ?iterates:int list ->
   base:Flow.options ->
   schedulers:Flow.scheduler list ->
   limits:Hls_sched.Limits.t list ->
@@ -80,7 +86,9 @@ type pruned_sweep = {
           superset of the frontier, so [pareto evaluated] equals the
           exhaustive sweep's frontier exactly *)
   pruned : pruned_point list;  (** points discarded before their backend ran *)
-  rounds : int;  (** successive-halving promotion rounds *)
+  rounds : int;
+      (** backend verdicts incorporated in flight (promoted class
+          representatives) *)
 }
 
 val sweep_pruned :
@@ -90,24 +98,30 @@ val sweep_pruned :
   ?schedulers:Flow.scheduler list ->
   ?limits:Hls_sched.Limits.t list ->
   ?pipelines:Hls_transform.Passes.pipeline list ->
+  ?iterates:int list ->
   string ->
   pruned_sweep
-(** The scheduler × limits cross product under pareto-guided successive
-    halving. Every point runs the cheap stages (frontend/midend/
+(** The scheduler × limits cross product under pareto-guided in-flight
+    pruning. Every point runs the cheap stages (frontend/midend/
     schedule, memoized) and gets {e sound} area/latency lower bounds
-    derived from the schedule alone — per-class peak unit requirement,
-    peak live-value storage, state register, cheapest-component cycle
-    floor. Rounds then promote the most promising quarter of the
-    still-unknown backend classes through allocate/bind/control/
-    estimate; a pending point is pruned as soon as an evaluated design
-    dominates its bounds (or its exact value, once a point sharing its
-    backend cache key has been evaluated). Because the bounds
-    underestimate the true estimate componentwise and dominance is
-    monotone and transitive, a pruned point can never be on the
-    frontier: [pareto evaluated] is bit-identical to [pareto] of the
-    exhaustive {!sweep}. Reports [dse/points_evaluated],
-    [dse/pruned_points] (their sum is the point count) and
-    [dse/prune_rounds] through {!Hls_obs.Trace}. *)
+    derived from the schedule alone — coupled per-class unit + operand
+    steering floor, peak live-value storage, state register,
+    cheapest-component cycle floor (for [iterate > 0] points, their
+    schedule-free counterparts — see {!Bound.compute}). Backend classes
+    are then decided one at a time, most promising bound-score first,
+    with up to a fixed window of promotions evaluating through the
+    shared {!Hls_util.Pool} in flight: each backend verdict is
+    incorporated the moment its future is awaited (oldest first, in
+    submission order — never when it happens to land, keeping every
+    decision and counter identical at any job count), and a pending
+    point is pruned as soon as an evaluated design dominates its bounds
+    (or its exact value, once a point sharing its backend cache key has
+    been evaluated). Because the bounds underestimate the true estimate
+    componentwise and dominance is monotone and transitive, a pruned
+    point can never be on the frontier: [pareto evaluated] is
+    bit-identical to [pareto] of the exhaustive {!sweep}. Reports
+    [dse/points_evaluated], [dse/pruned_points] (their sum is the point
+    count) and [dse/prune_rounds] through {!Hls_obs.Trace}. *)
 
 (** Sound area/latency lower bounds computed from the cheap stages
     (schedule + CFG) alone — what {!sweep_pruned} ranks and prunes on.
@@ -149,6 +163,24 @@ module Bound : sig
       dedicated, so their demands add; non-port variables may share
       registers, so only the largest single demand counts. *)
 
+  val fu_input_mux_area_lb :
+    node_w:(Hls_cdfg.Dfg.t -> int -> int -> int) ->
+    schedule_free:bool ->
+    Hls_sched.Cfg_sched.t ->
+    int
+  (** Coupled functional-unit + operand-steering floor, per class: the
+      distinct constant operands at each argument position are
+      dedicated wires (plus one for all computed/register operands
+      together — those may merge), split across at most one input mux
+      per unit; more units absorb more wires but each costs at least
+      the cheapest class component, so the floor is the minimum over
+      the unit count of the coupled sum. Subsumes {!fu_area_lb} (the
+      per-class schedule floor is the FU term's lower envelope) unless
+      [schedule_free], which drops schedule-derived terms so the floor
+      stays sound for {e any} legal schedule of the CFG — what an
+      [iterate > 0] point may ship after refinement. What {!compute}
+      uses in place of {!fu_area_lb}. *)
+
   val ctrl_area_lb : Flow.options -> Hls_sched.Cfg_sched.t -> int
   (** The controller's state register under the point's encoding. *)
 
@@ -162,7 +194,12 @@ module Bound : sig
       [options.narrow] the width-dependent floors use the range
       analysis' inferred widths (the same facts the datapath narrowing
       consumes), so the bounds stay sound {e and} tight for narrowed
-      backends. *)
+      backends. For [options.iterate > 0] the schedule-derived floors
+      (per-class peak demand, live storage, state count, step count)
+      are replaced by schedule-free ones — critical-chain step/state
+      floors, presence-only unit floors — because refinement may ship a
+      different schedule than the one ranked here; the bounds then hold
+      for the refined design too. *)
 end
 
 val dominates : point -> point -> bool

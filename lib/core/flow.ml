@@ -49,6 +49,9 @@ type options = {
   narrow : bool;
       (** shrink register/FU/mux widths to the range analysis' inferred
           widths; area-only (simulation evaluates at full precision) *)
+  iterate : int;
+      (** feedback-guided refinement iterations after the one-shot
+          backend: 0 = off (the historical one-shot flow) *)
 }
 
 let default_options =
@@ -61,6 +64,7 @@ let default_options =
     share_variables = true;
     encoding = Hls_ctrl.Encoding.Binary;
     narrow = false;
+    iterate = 0;
   }
 
 type design = {
@@ -408,8 +412,79 @@ let complete_result ?(verify = false) options o ~sched =
             | es -> Error es)
       else Ok d
 
-let backend_result ?verify options o =
-  complete_result ?verify options o ~sched:(schedule options o)
+(* ---- feedback-guided iterative refinement ---------------------------- *)
+
+(* Delay of one op under the component library — the weight used for
+   register-to-register critical-chain extraction. Free ops never reach
+   the depgraph, so [bind] always finds a component. *)
+let refine_op_delay g nid =
+  let op = Hls_cdfg.Dfg.op g nid in
+  match Hls_rtl.Component.bind ~cls:(Hls_cdfg.Dfg.fu_class_of g nid) ~ops:[ op ] with
+  | c -> c.Hls_rtl.Component.delay_ns
+  | exception Not_found -> Hls_rtl.Component.free_op_delay_ns
+
+(* Producers of the longest-lived temporaries: the values whose spans
+   set the live-storage floor {!Explore.Bound} prices. Longest span
+   first, ties on ascending node id. *)
+let refine_live_pins cfg bid sched =
+  let term_cond =
+    match Hls_cdfg.Cfg.term cfg bid with
+    | Hls_cdfg.Cfg.Branch (c, _, _) -> Some c
+    | _ -> None
+  in
+  Hls_alloc.Lifetime.analyze sched ~term_cond
+  |> List.filter_map (fun (vi : Hls_alloc.Lifetime.value_info) ->
+         match vi.Hls_alloc.Lifetime.storage with
+         | Hls_alloc.Lifetime.Temp iv ->
+             let len = iv.Hls_util.Interval.hi - iv.Hls_util.Interval.lo in
+             if len > 0 then Some (len, vi.Hls_alloc.Lifetime.nid) else None
+         | _ -> None)
+  |> List.sort (fun (l1, n1) (l2, n2) -> compare (-l1, n1) (-l2, n2))
+  |> List.map snd
+
+let refine_design options o seed =
+  let signals =
+    {
+      Hls_sched.Refine.op_delay = refine_op_delay;
+      live_pins = refine_live_pins o.o_cfg;
+    }
+  in
+  let limits = effective_limits options in
+  let evaluate cs =
+    match Cfg_sched.verify limits cs with
+    | Error _ -> None
+    | Ok () -> (
+        match complete_result ~verify:false options o ~sched:cs with
+        | Ok d -> Some d
+        | Error _ -> None)
+  in
+  let measure (d : design) =
+    ( float_of_int d.estimate.Hls_rtl.Estimate.total_area,
+      d.estimate.Hls_rtl.Estimate.latency_ns )
+  in
+  Hls_obs.Trace.with_span "refine"
+    ~args:[ ("iterate", string_of_int options.iterate) ]
+    (fun () ->
+      Hls_sched.Refine.refine ~max_iters:options.iterate
+        ~propose:(fun ~iter:_ d -> Hls_sched.Refine.extract signals d.sched)
+        ~evaluate ~measure
+        ~sched_of:(fun d -> d.sched)
+        seed)
+
+let backend_result ?(verify = false) options o =
+  let sched = schedule options o in
+  if options.iterate <= 0 then complete_result ~verify options o ~sched
+  else
+    match complete_result ~verify:false options o ~sched with
+    | Error ds -> Error ds
+    | Ok seed ->
+        let d, _iters = refine_design options o seed in
+        if verify then
+          Hls_obs.Trace.with_span "lint" (fun () ->
+              match Hls_analysis.Diagnostic.errors (lint d) with
+              | [] -> Ok d
+              | es -> Error es)
+        else Ok d
 
 let run ?verify options tprog =
   backend_result ?verify options

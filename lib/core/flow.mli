@@ -46,6 +46,13 @@ type options = {
           inferred widths. Area-only: simulation evaluates at [Op.eval]
           precision regardless of declared storage width, so narrowed
           designs are bit-identical to the baseline. *)
+  iterate : int;
+      (** feedback-guided refinement iterations after the one-shot
+          backend ({!refine_design}): 0 — the default — is the
+          historical one-shot flow. Refinement only ever replaces block
+          schedules with verified ones, so an iterated design is
+          behaviourally bit-identical to its seed; it is accepted only
+          on strict Pareto improvement of (area, latency). *)
 }
 
 val default_options : options
@@ -146,7 +153,26 @@ val complete_result :
 
 val backend_result :
   ?verify:bool -> options -> optimized -> (design, Hls_analysis.Diagnostic.t list) result
-(** [schedule] then {!complete_result}. *)
+(** [schedule] then {!complete_result}; with [options.iterate > 0] the
+    completed design additionally goes through {!refine_design}, and
+    [~verify] lints the final (refined) design. *)
+
+val refine_design : options -> optimized -> design -> design * int
+(** Feedback-guided iterative re-scheduling of a completed design
+    ({!Hls_sched.Refine} wired to this backend): up to
+    [options.iterate] iterations, each extracting the critical subgraph
+    from the current design — the delay-weighted longest
+    register-to-register chain under the {!Hls_rtl.Component} delay
+    model, blocks with an oversubscribed FU class, producers on the
+    live-storage floor — re-scheduling those blocks with the
+    incremental force-directed kernel under tightened deadlines and
+    distribution-perturbing pins, and completing each candidate through
+    the backend. A candidate is kept only if it verifies under
+    {!effective_limits} and strictly Pareto-improves (total area,
+    latency); with no improvement the seed design itself is returned.
+    Returns the design and the number of accepted iterations. Counters
+    land under [refine/*] with a [refine] span wrapping the loop and a
+    [refine/iter] span per iteration. *)
 
 val run :
   ?verify:bool ->
@@ -184,6 +210,12 @@ val scheduler_ignores_limits : scheduler -> bool
 (** Time-constrained schedulers ([Force_directed], [Freedom]) derive
     their own deadline and ignore [options.limits]; their schedules are
     verified (and may be cached) independently of the limits. *)
+
+val effective_limits : options -> Limits.t
+(** The limits a finished design is actually accountable to:
+    [options.limits], or [Unlimited] when {!scheduler_ignores_limits}.
+    This is what {!lint} checks schedules against and what
+    {!refine_design} requires candidates to verify under. *)
 
 val synthesize_program : ?options:options -> ?verify:bool -> Ast.program -> design
 (** The full flow: [frontend_program] → [midend] → [backend]. Raises

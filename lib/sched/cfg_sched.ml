@@ -20,6 +20,11 @@ let cfg t = t.cfg
 
 let block_schedule t bid = t.scheds.(bid)
 
+let with_block t bid sched =
+  let scheds = Array.copy t.scheds in
+  scheds.(bid) <- sched;
+  { t with scheds }
+
 let digest t =
   Digest.string
     (String.concat "" (Array.to_list (Array.map Schedule.digest t.scheds)))

@@ -15,6 +15,13 @@ val make : Cfg.t -> scheduler:(Dfg.t -> Schedule.t) -> t
 val cfg : t -> Cfg.t
 val block_schedule : t -> Cfg.bid -> Schedule.t
 
+val with_block : t -> Cfg.bid -> Schedule.t -> t
+(** A copy of the whole-program schedule with one block's schedule
+    replaced — the surgical update the refinement loop uses to
+    re-schedule a critical block without touching the rest. Bumps no
+    counters; the replacement schedule must be over the same block's
+    DFG. *)
+
 val digest : t -> string
 (** Content digest over all block schedules ({!Schedule.digest} of
     each, in block order). Equal digests on the same CFG mean every

@@ -43,18 +43,61 @@ let avg_over dg lo hi =
    (op, step) candidate — O(rounds x candidates x frame-width x degree)
    float work. Kept as the oracle for the differential tests and as the
    benchmark baseline (the PR-1 convention). *)
-let schedule_dep_reference ?on_fix ~deadline dep =
+(* Shared pin validation: pins must name real ops, stay inside
+   [1, deadline], agree with each other, and respect dependences among
+   themselves. Pins that merely squeeze an unpinned op out of any
+   feasible step surface as the scheduler's "no feasible placement"
+   [Invalid_argument] instead — both failure modes raise, so a caller
+   probing perturbations can simply catch [Invalid_argument]. *)
+let check_pins dep ~deadline pins =
+  let n = Depgraph.n_ops dep in
+  let pinned = Array.make n None in
+  List.iter
+    (fun (i, s) ->
+      if i < 0 || i >= n then
+        invalid_arg (Printf.sprintf "Force_directed: pin on unknown op %d" i);
+      if s < 1 || s > deadline then
+        invalid_arg
+          (Printf.sprintf "Force_directed: pin of op %d at step %d outside 1..%d" i s
+             deadline);
+      (match pinned.(i) with
+      | Some s' when s' <> s ->
+          invalid_arg
+            (Printf.sprintf "Force_directed: conflicting pins for op %d (%d vs %d)" i
+               s' s)
+      | _ -> ());
+      pinned.(i) <- Some s)
+    pins;
+  for i = 0 to n - 1 do
+    match pinned.(i) with
+    | None -> ()
+    | Some s ->
+        List.iter
+          (fun p ->
+            match pinned.(p) with
+            | Some sp when sp >= s ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Force_directed: pinned ops %d@%d -> %d@%d violate a dependence"
+                     p sp i s)
+            | _ -> ())
+          (Depgraph.preds dep i)
+  done;
+  pinned
+
+let schedule_dep_reference ?on_fix ?(pins = []) ~deadline dep =
   let n = Depgraph.n_ops dep in
   let cl = Depgraph.critical_length dep in
   if deadline < cl then
     invalid_arg
       (Printf.sprintf "Force_directed: deadline %d below critical path %d" deadline cl);
   let force_evals = ref 0 in
-  let fixed = Array.make n None in
+  let fixed = check_pins dep ~deadline pins in
+  let n_pinned = Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 fixed in
   let classes =
     List.sort_uniq compare (List.init n (fun i -> Depgraph.cls dep i))
   in
-  let remaining = ref n in
+  let remaining = ref (n - n_pinned) in
   while !remaining > 0 do
     let asap, alap = frames dep ~deadline ~fixed in
     let dgs =
@@ -147,7 +190,7 @@ type row = {
      evaluated in the oracle's operation order, so cache hits and misses
      alike yield the reference's exact floats and the (op, step) argmin
      scan — same order, same <= tie-break — picks the same placement. *)
-let schedule_dep ?on_fix ~deadline dep =
+let schedule_dep ?on_fix ?(pins = []) ~deadline dep =
   let n = Depgraph.n_ops dep in
   let cl = Depgraph.critical_length dep in
   if deadline < cl then
@@ -156,15 +199,26 @@ let schedule_dep ?on_fix ~deadline dep =
   (* work counters, flushed to the trace sink once at the end *)
   let c_placements = ref 0 and c_frame_updates = ref 0 and c_dg_rebuilds = ref 0 in
   let c_rows_built = ref 0 and c_rows_cached = ref 0 and c_force_evals = ref 0 in
+  let pinned = check_pins dep ~deadline pins in
+  let n_pinned =
+    Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 pinned
+  in
   let fixed = Array.make n false in
-  (* initial frames: the reference's passes with nothing fixed *)
+  Array.iteri (fun i p -> if p <> None then fixed.(i) <- true) pinned;
+  (* initial frames: the reference's passes with exactly the pins fixed *)
   let asap = Array.make n 1 in
   for i = 0 to n - 1 do
-    asap.(i) <- 1 + List.fold_left (fun acc p -> max acc asap.(p)) 0 (Depgraph.preds dep i)
+    let lo =
+      1 + List.fold_left (fun acc p -> max acc asap.(p)) 0 (Depgraph.preds dep i)
+    in
+    asap.(i) <- (match pinned.(i) with Some s -> s | None -> lo)
   done;
   let alap = Array.make n deadline in
   for i = n - 1 downto 0 do
-    alap.(i) <- List.fold_left (fun acc s -> min acc (alap.(s) - 1)) deadline (Depgraph.succs dep i)
+    let hi =
+      List.fold_left (fun acc s -> min acc (alap.(s) - 1)) deadline (Depgraph.succs dep i)
+    in
+    alap.(i) <- (match pinned.(i) with Some s -> s | None -> hi)
   done;
   (* dense class ids *)
   let classes =
@@ -303,7 +357,7 @@ let schedule_dep ?on_fix ~deadline dep =
   let round = ref 0 in
   let dirty_lo = Array.make (max n_cls 1) max_int in
   let dirty_hi = Array.make (max n_cls 1) min_int in
-  let remaining = ref n in
+  let remaining = ref (n - n_pinned) in
   let fwd = Queue.create () and bwd = Queue.create () in
   while !remaining > 0 do
     (* argmin scan; strict [<] keeps the first of equals, matching the
@@ -431,6 +485,7 @@ let schedule_dep ?on_fix ~deadline dep =
   done;
   steps
 
-let schedule ~deadline g =
+let schedule ?(pins = []) ~deadline g =
   let dep = Depgraph.of_dfg g in
-  Depgraph.to_schedule dep ~steps:(schedule_dep ~deadline dep)
+  let pins = List.map (fun (nid, s) -> (Depgraph.index_of dep nid, s)) pins in
+  Depgraph.to_schedule dep ~steps:(schedule_dep ~pins ~deadline dep)

@@ -35,18 +35,32 @@ val distribution :
 (** Distribution graph for one class over steps [1..deadline] (index 0 of
     the result is step 1). This is the quantity plotted in Fig 5. *)
 
-val schedule : deadline:int -> Dfg.t -> Schedule.t
+val schedule : ?pins:(Dfg.nid * int) list -> deadline:int -> Dfg.t -> Schedule.t
 (** Raises [Invalid_argument] if [deadline] is below the critical path
-    length. *)
+    length. [pins] pre-fixes compute nodes at given steps (see
+    {!schedule_dep}). *)
 
 val schedule_dep :
-  ?on_fix:(int -> int -> unit) -> deadline:int -> Depgraph.t -> int array
+  ?on_fix:(int -> int -> unit) ->
+  ?pins:(int * int) list ->
+  deadline:int -> Depgraph.t -> int array
 (** Incremental kernel. [on_fix i s] observes each placement in decision
-    order (used by the step-for-step differential tests). *)
+    order (used by the step-for-step differential tests).
+
+    [pins] is a list of [(op index, step)] pairs fixed {e before} the
+    balancing loop runs: a pinned op contributes its whole distribution
+    weight at one step and clips its neighbours' time frames, which is
+    how the refinement layer perturbs the distribution-graph priorities
+    of a re-schedule. With [pins = []] the behaviour is unchanged.
+    Raises [Invalid_argument] for pins that are out of range, mutually
+    conflicting, violate a dependence among themselves, or leave some
+    unpinned op without a feasible step. *)
 
 val schedule_dep_reference :
-  ?on_fix:(int -> int -> unit) -> deadline:int -> Depgraph.t -> int array
+  ?on_fix:(int -> int -> unit) ->
+  ?pins:(int * int) list ->
+  deadline:int -> Depgraph.t -> int array
 (** The seed implementation — recomputes frames, distribution graphs and
     all candidate forces after every placement. Produces exactly the
-    same placement sequence as {!schedule_dep}; kept as the oracle for
-    differential tests and benchmark baselines. *)
+    same placement sequence as {!schedule_dep} (pins included); kept as
+    the oracle for differential tests and benchmark baselines. *)

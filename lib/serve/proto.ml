@@ -168,6 +168,7 @@ let options_of_json json =
   let* encoding = field "encoding" encodings Hls_ctrl.Encoding.Binary in
   let if_conversion = Option.value ~default:false (J.bool_member "if_convert" json) in
   let narrow = Option.value ~default:false (J.bool_member "narrow" json) in
+  let iterate = Option.value ~default:0 (J.int_member "iterate" json) in
   let fus = Option.value ~default:2 (J.int_member "fus" json) in
   Ok
     {
@@ -179,6 +180,7 @@ let options_of_json json =
       share_variables = true;
       encoding;
       narrow;
+      iterate;
     }
 
 let key_of table v = fst (List.find (fun (_, x) -> x = v) table)
@@ -193,6 +195,7 @@ let options_to_json (o : Flow.options) =
       ("allocator", J.Str (key_of allocators o.Flow.allocator));
       ("encoding", J.Str (key_of encodings o.Flow.encoding));
       ("narrow", J.Bool o.Flow.narrow);
+      ("iterate", J.of_int o.Flow.iterate);
     ]
 
 (* ---- requests ---- *)

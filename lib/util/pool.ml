@@ -102,6 +102,116 @@ let shared =
      at_exit (fun () -> if not p.closed then shutdown p);
      p)
 
+(* ---- futures ---- *)
+
+(* A future is either a deferred thunk (no parallelism available: it
+   runs on the calling domain at [await], preserving the exact
+   observable order a serial driver would see) or a task submitted to
+   a pool, in which case [await] helps drain that pool's queue while
+   waiting so a caller blocked on one verdict still advances everyone
+   else's work. *)
+type 'a fstate =
+  | F_deferred of (unit -> 'a)
+  | F_pending
+  | F_value of 'a
+  | F_raised of exn
+
+type 'a future = {
+  f_lock : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : 'a fstate;
+  f_help : t option;  (** pool whose queue [await] drains while blocked *)
+}
+
+let async ?pool ?(jobs = 1) f =
+  let pool' = pool in
+  let fresh state help =
+    {
+      f_lock = Mutex.create ();
+      f_cond = Condition.create ();
+      f_state = state;
+      f_help = help;
+    }
+  in
+  let resolve p =
+    let parallel = jobs > 1 && p.max_workers >= 1 && not p.closed in
+    if not parallel then fresh (F_deferred f) None
+    else begin
+      let fut = fresh F_pending (Some p) in
+      submit p (fun () ->
+          let r = try F_value (f ()) with e -> F_raised e in
+          Mutex.lock fut.f_lock;
+          fut.f_state <- r;
+          Condition.broadcast fut.f_cond;
+          Mutex.unlock fut.f_lock);
+      fut
+    end
+  in
+  match pool' with
+  | Some p -> resolve p
+  | None ->
+      if jobs <= 1 then fresh (F_deferred f) None
+      else resolve (Lazy.force shared)
+
+let await fut =
+  let deferred =
+    Mutex.lock fut.f_lock;
+    let d = match fut.f_state with F_deferred g -> Some g | _ -> None in
+    Mutex.unlock fut.f_lock;
+    d
+  in
+  match deferred with
+  | Some g -> (
+      match (try Ok (g ()) with e -> Error e) with
+      | Ok v ->
+          fut.f_state <- F_value v;
+          v
+      | Error e ->
+          fut.f_state <- F_raised e;
+          raise e)
+  | None ->
+      let pool = match fut.f_help with Some p -> p | None -> assert false in
+      let rec drive () =
+        let settled =
+          Mutex.lock fut.f_lock;
+          let s =
+            match fut.f_state with
+            | F_value v -> Some (Ok v)
+            | F_raised e -> Some (Error e)
+            | _ -> None
+          in
+          Mutex.unlock fut.f_lock;
+          s
+        in
+        match settled with
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None ->
+            let task =
+              Mutex.lock pool.lock;
+              let t =
+                if Queue.is_empty pool.queue then None
+                else Some (Queue.pop pool.queue)
+              in
+              Mutex.unlock pool.lock;
+              t
+            in
+            (match task with
+            | Some t ->
+                Hls_obs.Trace.incr "pool/caller_runs";
+                t ()
+            | None ->
+                (* queue drained but our task is still running on some
+                   domain: block until its completion broadcast *)
+                Mutex.lock fut.f_lock;
+                (match fut.f_state with
+                | F_pending -> Condition.wait fut.f_cond fut.f_lock
+                | _ -> ());
+                Mutex.unlock fut.f_lock);
+            drive ()
+      in
+      drive ()
+
 (* [pool/workers_active] is a per-[map]-call watermark: how many
    distinct domains (workers and the caller alike) ran at least one
    chunk of that call. With a long-lived shared pool, worker identity

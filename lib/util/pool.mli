@@ -50,6 +50,29 @@ val shutdown : t -> unit
     no worker was ever spawned, queued tasks are run on the calling
     domain. *)
 
+type 'a future
+(** A single in-flight computation: either a task running on the pool
+    or a deferred thunk that will run on the calling domain at
+    {!await} when no parallelism is available. *)
+
+val async : ?pool:t -> ?jobs:int -> (unit -> 'a) -> 'a future
+(** [async ~jobs f] starts [f] on the shared pool (or [pool] if
+    given). With [jobs <= 1], a zero-worker pool, or a closed pool the
+    computation is {e deferred}: it runs on the calling domain inside
+    {!await}. Either way the caller observes the result exactly at its
+    {!await} call, so a driver that interleaves [async]/[await] makes
+    the same decisions at any job count — in-flight pipelining without
+    scheduling nondeterminism. *)
+
+val await : 'a future -> 'a
+(** Block until the future settles, re-raising its exception if it
+    raised. While blocked on a pooled future the caller helps drain
+    that pool's queue ([pool/caller_runs]), so awaiting one verdict
+    still advances all other queued work. Awaiting a settled or
+    deferred future is cheap and idempotent from a single domain;
+    futures are not meant to be awaited from several domains at
+    once. *)
+
 val map : ?pool:t -> ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs] evaluated in chunks on the
     shared pool (or [pool] if given — tests use this to exercise the

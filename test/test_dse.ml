@@ -254,9 +254,9 @@ let test_pipeline_disk_sensitivity () =
 
 let psig (p : Explore.point) = (p.Explore.label, signature p.Explore.design)
 
-let check_pruned_matches ?schedulers src =
-  let all = Explore.sweep ?schedulers src in
-  let pr = Explore.sweep_pruned ?schedulers src in
+let check_pruned_matches ?schedulers ?iterates src =
+  let all = Explore.sweep ?schedulers ?iterates src in
+  let pr = Explore.sweep_pruned ?schedulers ?iterates src in
   Alcotest.(check int) "evaluated + pruned = total" (List.length all)
     (List.length pr.Explore.evaluated + List.length pr.Explore.pruned);
   Alcotest.(check bool) "frontier identical to the exhaustive sweep" true
@@ -268,7 +268,12 @@ let test_pruned_matches_exhaustive () =
     [ Workloads.diffeq; Workloads.sqrt_newton; Workloads.gcd ];
   (* a reduced scheduler matrix takes a different promotion path *)
   check_pruned_matches ~schedulers:[ Flow.Asap; Flow.Freedom; Flow.Trans_serial ]
-    Workloads.fir8
+    Workloads.fir8;
+  (* refined points ride the schedule-free bounds: the frontier must
+     still be exact when one-shot and iterated points compete *)
+  check_pruned_matches
+    ~schedulers:[ Flow.Asap; Flow.Freedom; Flow.Trans_serial ]
+    ~iterates:[ 0; 2 ] Workloads.diffeq
 
 let test_pruned_counters () =
   Hls_obs.Trace.reset ();
@@ -293,7 +298,10 @@ let test_bounds_sound () =
   List.iter
     (fun (name, src) ->
       let engine = Dse.create src in
-      let points = Explore.sweep ~engine ~schedulers src in
+      (* iterate > 0 points exercise the schedule-free branch of the
+         bounds: refinement may ship a different schedule than the one
+         ranked, so the bound must hold for the refined estimate too *)
+      let points = Explore.sweep ~engine ~schedulers ~iterates:[ 0; 2 ] src in
       List.iter
         (fun (p : Explore.point) ->
           let o, cs = Dse.eval_cheap engine p.Explore.options in
@@ -309,6 +317,130 @@ let test_bounds_sound () =
             (lat_lb <= p.Explore.latency_ns +. 1e-6))
         points)
     Workloads.all
+
+(* ---- feedback refinement ---- *)
+
+let refine_schedulers = [ Flow.Asap; Flow.List_path; Flow.Freedom; Flow.Trans_serial ]
+
+let test_refine_never_worse_and_terminates () =
+  (* the acceptance loop only keeps strict Pareto improvements, so the
+     refined design can never be worse than its one-shot seed on either
+     coordinate; and on every workload x scheduler the loop must reach
+     a fixpoint before a generous bound (termination is not just the
+     bound firing). A loop that accepted nothing must hand back the
+     seed itself, not a rebuilt copy. *)
+  List.iter
+    (fun (name, src) ->
+      let engine = Dse.create src in
+      List.iter
+        (fun s ->
+          let opts = { Flow.default_options with Flow.scheduler = s } in
+          let o, _ = Dse.eval_cheap engine opts in
+          match Flow.backend_result opts o with
+          | Error _ -> ()
+          | Ok seed ->
+              let tag = Printf.sprintf "%s/%s" name (Flow.scheduler_to_string s) in
+              let d, iters =
+                Flow.refine_design { opts with Flow.iterate = 4 } o seed
+              in
+              Alcotest.(check bool) (tag ^ ": converged before the bound") true
+                (iters < 4);
+              Alcotest.(check bool) (tag ^ ": area never worse") true
+                (d.Flow.estimate.Hls_rtl.Estimate.total_area
+                <= seed.Flow.estimate.Hls_rtl.Estimate.total_area);
+              Alcotest.(check bool) (tag ^ ": latency never worse") true
+                (d.Flow.estimate.Hls_rtl.Estimate.latency_ns
+                <= seed.Flow.estimate.Hls_rtl.Estimate.latency_ns +. 1e-6);
+              if iters = 0 then
+                Alcotest.(check bool)
+                  (tag ^ ": no-acceptance fixpoint is the seed itself")
+                  true (d == seed)
+              else begin
+                (* re-refining from the refined design's options makes
+                   no further progress through the engine either: the
+                   iterated point is a fixpoint of one more iteration *)
+                let d2, _ = Flow.refine_design { opts with Flow.iterate = 4 } o seed in
+                Alcotest.(check string) (tag ^ ": refinement is deterministic")
+                  (Dse.design_digest d) (Dse.design_digest d2)
+              end)
+        refine_schedulers)
+    Workloads.all
+
+let refine_counters () =
+  List.map
+    (fun c -> (c, Hls_obs.Trace.counter ("refine/" ^ c)))
+    [ "candidates"; "infeasible"; "duplicates"; "rejected"; "accepted"; "iterations" ]
+
+let test_refine_jobs_deterministic () =
+  (* refine/* counters and the final designs must not depend on the job
+     count: refinement runs inside the memoized backend stage, and the
+     single-flight memo plus decisions-at-await keep every loop run
+     identical whether points evaluate serially or on worker domains *)
+  let src = Workloads.diffeq in
+  let run jobs =
+    Hls_obs.Trace.reset ();
+    let config = { Dse.default_config with Dse.jobs } in
+    let points =
+      Explore.sweep
+        ~engine:(Dse.create ~config src)
+        ~schedulers:refine_schedulers ~iterates:[ 0; 3 ] src
+    in
+    (List.map (fun (p : Explore.point) -> psig p) points, refine_counters ())
+  in
+  let sigs1, counters1 = run 1 in
+  let sigs4, counters4 = run 4 in
+  Alcotest.(check bool) "some refinement work happened" true
+    (List.assoc "candidates" counters1 > 0);
+  Alcotest.(check bool) "jobs=4 designs = jobs=1 designs" true (sigs1 = sigs4);
+  Alcotest.(check (list (pair string int))) "refine/* counters identical" counters1
+    counters4
+
+let test_refine_memo_key_sensitivity () =
+  (* the refinement layer is keyed on (backend seed, effective limits,
+     iterate): one-shot points never touch it, equal bounds share one
+     entry, distinct bounds miss separately — and the seed itself is
+     computed once for all of them *)
+  let engine = Dse.create Workloads.diffeq in
+  (* freedom-scheduled diffeq is a seed the loop strictly improves *)
+  let opts it =
+    { Flow.default_options with Flow.scheduler = Flow.Freedom; Flow.iterate = it }
+  in
+  let d0 = Dse.eval engine (opts 0) in
+  let s0 = Dse.stats engine in
+  Alcotest.(check int) "one-shot point skips the refine layer" 0
+    (s0.Dse.refine.Dse.hits + s0.Dse.refine.Dse.misses);
+  let d2 = Dse.eval engine (opts 2) in
+  let s2 = Dse.stats engine in
+  Alcotest.(check int) "first iterated point misses" 1 s2.Dse.refine.Dse.misses;
+  Alcotest.(check int) "iterated point reuses the one-shot seed"
+    s0.Dse.backend.Dse.misses s2.Dse.backend.Dse.misses;
+  let d2' = Dse.eval engine (opts 2) in
+  let s2' = Dse.stats engine in
+  Alcotest.(check int) "equal bound shares the entry" 1 s2'.Dse.refine.Dse.misses;
+  Alcotest.(check bool) "hit recorded" true (s2'.Dse.refine.Dse.hits > 0);
+  Alcotest.(check bool) "same design back" true (signature d2 = signature d2');
+  ignore (Dse.eval engine (opts 3));
+  let s3 = Dse.stats engine in
+  Alcotest.(check int) "a different bound misses separately" 2
+    s3.Dse.refine.Dse.misses;
+  Alcotest.(check bool) "refinement improved diffeq's one-shot design" true
+    (signature d0 <> signature d2)
+
+let test_refine_disk_key_sensitivity () =
+  (* --iterate participates in the persistent point key: a one-shot
+     entry can never answer for an iterated point or vice versa *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hlsc_dse_refine_%d" (Unix.getpid ()))
+  in
+  let config = { Dse.default_config with Dse.cache_dir = Some dir } in
+  let e = Dse.create ~config Workloads.diffeq in
+  ignore (Dse.eval e { Flow.default_options with Flow.iterate = 0 });
+  ignore (Dse.eval e { Flow.default_options with Flow.iterate = 2 });
+  ignore (Dse.eval e { Flow.default_options with Flow.iterate = 3 });
+  Alcotest.(check int) "three iterate bounds, three disk entries" 3
+    (List.length (Disk_cache.entries ~dir))
 
 (* ---- pareto marking ---- *)
 
@@ -386,6 +518,17 @@ let () =
             test_pruned_counters;
           Alcotest.test_case "lower bounds never exceed the estimate" `Slow
             test_bounds_sound;
+        ] );
+      ( "refine",
+        [
+          Alcotest.test_case "never worse, converges, fixpoint identity" `Slow
+            test_refine_never_worse_and_terminates;
+          Alcotest.test_case "counters and designs independent of jobs" `Quick
+            test_refine_jobs_deterministic;
+          Alcotest.test_case "memo key sensitivity to --iterate" `Quick
+            test_refine_memo_key_sensitivity;
+          Alcotest.test_case "disk key sensitivity to --iterate" `Quick
+            test_refine_disk_key_sensitivity;
         ] );
       ( "pareto",
         [

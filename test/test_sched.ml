@@ -250,17 +250,28 @@ let prop_fds_matches_reference =
         (fun deadline ->
           let trace
               (kernel :
-                ?on_fix:(int -> int -> unit) -> deadline:int -> Depgraph.t -> int array)
-              =
+                ?on_fix:(int -> int -> unit) ->
+                ?pins:(int * int) list ->
+                deadline:int ->
+                Depgraph.t ->
+                int array) ~pins =
             let log = ref [] in
             let steps =
-              kernel ~on_fix:(fun i s -> log := (i, s) :: !log) ~deadline dep
+              kernel ~on_fix:(fun i s -> log := (i, s) :: !log) ~pins ~deadline dep
             in
             (steps, List.rev !log)
           in
-          let s_inc, fixes_inc = trace Force_directed.schedule_dep in
-          let s_ref, fixes_ref = trace Force_directed.schedule_dep_reference in
-          s_inc = s_ref && fixes_inc = fixes_ref)
+          (* pin the lowest-index op at its ALAP frame top: a legal pin on
+             every graph, and one that actually perturbs the priorities *)
+          let alap = Depgraph.alap dep ~deadline in
+          List.for_all
+            (fun pins ->
+              let s_inc, fixes_inc = trace Force_directed.schedule_dep ~pins in
+              let s_ref, fixes_ref =
+                trace Force_directed.schedule_dep_reference ~pins
+              in
+              s_inc = s_ref && fixes_inc = fixes_ref)
+            [ []; [ (0, alap.(0)) ] ])
         [ cl; cl + 1; cl + 3 ])
 
 let prop_freedom_valid =
